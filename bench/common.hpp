@@ -1,0 +1,51 @@
+// Shared plumbing for the bench binaries: common CLI flags, stdout table
+// formatting, and CSV persistence (every printed series is also written to
+// ./bench_out/<name>.csv for re-plotting).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace ewalk::bench {
+
+struct BenchConfig {
+  std::uint32_t trials = 5;     ///< the paper averaged 5 experiments/point
+  std::uint32_t threads = 0;    ///< 0 = hardware concurrency
+  std::uint64_t seed = 1;
+  bool full = false;            ///< paper-scale sizes (n up to 5*10^5)
+};
+
+inline BenchConfig parse_config(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchConfig cfg;
+  cfg.trials = static_cast<std::uint32_t>(cli.get_int("trials", cfg.trials));
+  cfg.threads = static_cast<std::uint32_t>(cli.get_int("threads", cfg.threads));
+  cfg.seed = cli.get_u64("seed", cfg.seed);
+  cfg.full = cli.get_bool("full", false);
+  return cfg;
+}
+
+/// Opens bench_out/<name>.csv (creating the directory if needed).
+inline std::unique_ptr<CsvWriter> open_csv(const std::string& name,
+                                           std::vector<std::string> header) {
+  std::filesystem::create_directories("bench_out");
+  return std::make_unique<CsvWriter>("bench_out/" + name + ".csv", std::move(header));
+}
+
+inline void print_header(const char* title, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace ewalk::bench

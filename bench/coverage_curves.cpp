@@ -1,0 +1,90 @@
+// Coverage curves: the step-by-step story behind Figure 1.
+//
+// For one 4-regular and one 3-regular graph, sample the fraction of vertices
+// covered as a function of (normalised) time for the E-process and the SRW.
+// The even-degree E-process covers almost linearly (slope ~1/2 per step —
+// every blue step crosses a fresh edge and half the time lands on a fresh
+// vertex), while the SRW and the odd-degree E-process show coupon-collector
+// tails. Also prints t_50/t_90/t_99/t_100 percentile-cover times.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "covertime/timeseries.hpp"
+#include "graph/generators.hpp"
+#include "walks/eprocess.hpp"
+#include "walks/rules.hpp"
+#include "walks/srw.hpp"
+
+using namespace ewalk;
+
+namespace {
+
+template <typename Walk, typename Stepper>
+void run_curve(const char* label, const Graph& g, Walk& walk, Stepper&& stepper,
+               CsvWriter& csv, double curve_id) {
+  const Vertex n = g.num_vertices();
+  CoverageRecorder recorder(std::max<std::uint64_t>(1, n / 50));
+  while (!walk.cover().all_vertices_covered()) {
+    stepper();
+    recorder.record(walk);
+  }
+  recorder.record(walk);
+  const auto t50 = recorder.step_at_vertex_fraction(0.50, n);
+  const auto t90 = recorder.step_at_vertex_fraction(0.90, n);
+  const auto t99 = recorder.step_at_vertex_fraction(0.99, n);
+  const auto t100 = walk.cover().vertex_cover_step();
+  std::printf("%-18s %10.2f %10.2f %10.2f %10.2f %12.4f\n", label,
+              static_cast<double>(t50) / n, static_cast<double>(t90) / n,
+              static_cast<double>(t99) / n, static_cast<double>(t100) / n,
+              recorder.uncovered_area(n));
+  for (const auto& p : recorder.points())
+    csv.row({curve_id, static_cast<double>(p.step) / n,
+             static_cast<double>(p.vertices_covered) / n});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_config(argc, argv);
+  bench::print_header("Coverage curves: covered fraction vs normalised time",
+                      "even-degree E-process is near-linear; SRW and odd-degree "
+                      "E-process have log tails");
+
+  const Vertex n = cfg.full ? 200000 : 50000;
+  auto csv = bench::open_csv("coverage_curves", {"curve_id", "t_over_n", "covered_fraction"});
+
+  std::printf("%-18s %10s %10s %10s %10s %12s\n", "process/graph", "t50/n",
+              "t90/n", "t99/n", "t100/n", "unc.area");
+
+  Rng grng(cfg.seed);
+  const Graph g4 = random_regular_connected(n, 4, grng);
+  const Graph g3 = random_regular_connected(n, 3, grng);
+
+  {
+    UniformRule rule;
+    EProcess walk(g4, 0, rule);
+    Rng rng(cfg.seed + 1);
+    run_curve("eprocess d=4", g4, walk, [&] { walk.step(rng); }, *csv, 0);
+  }
+  {
+    UniformRule rule;
+    EProcess walk(g3, 0, rule);
+    Rng rng(cfg.seed + 2);
+    run_curve("eprocess d=3", g3, walk, [&] { walk.step(rng); }, *csv, 1);
+  }
+  {
+    SimpleRandomWalk walk(g4, 0);
+    Rng rng(cfg.seed + 3);
+    run_curve("srw d=4", g4, walk, [&] { walk.step(rng); }, *csv, 2);
+  }
+  {
+    SimpleRandomWalk walk(g3, 0);
+    Rng rng(cfg.seed + 4);
+    run_curve("srw d=3", g3, walk, [&] { walk.step(rng); }, *csv, 3);
+  }
+
+  std::printf("\nreading: eprocess d=4 hits t100/n ~ 2 with tiny tail; eprocess\n"
+              "        d=3 is linear to t99 then pays a ~0.9 ln n star tail; the\n"
+              "        SRW rows show classic Theta(n log n) coupon collecting.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Section 2 toolbox validation: the quantitative lemmas behind Theorem 1.
+//
+//   * Lemma 6:   E_π(H_v) <= 1/((1-λmax) π_v)       (exact values vs bound)
+//   * Cor. 9:    E_π(H_S) <= 2m/(d(S)(1-λmax))      (via contraction Γ(S))
+//   * Lemma 13:  Pr(S unvisited at t) <= exp(-t d(S)(1-λmax)/14m)
+//                (empirical tail vs the paper's exponential bound)
+//   * Eq. (4):   time for the SRW to visit every vertex r times is
+//                O(C_V(SRW)) (blanket-time argument)
+//
+// Rows use random 4-regular graphs (the paper's Corollary 2 habitat).
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "covertime/blanket.hpp"
+#include "covertime/hitting.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "spectral/spectrum.hpp"
+
+using namespace ewalk;
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_config(argc, argv);
+  bench::print_header(
+      "Hitting-time and blanket-time bounds (Lemma 6, Cor. 9, Lemma 13, eq. 4)",
+      "all measured values must sit below the paper's bounds");
+
+  auto csv = bench::open_csv("hitting_bounds",
+                             {"n", "gap", "epi_hv", "lemma6", "epi_hs", "cor9",
+                              "pr_unvisited", "lemma13", "t_visit_r", "cover"});
+
+  const std::vector<Vertex> ns{200, 400, 800};
+  std::printf("%6s %7s | %9s %9s | %9s %9s | %11s %11s | %9s %9s\n", "n", "gap",
+              "EpiHv", "Lem6", "EpiHS", "Cor9", "Pr[unvis]", "Lem13", "T(r)",
+              "C_V");
+  for (const Vertex n : ns) {
+    Rng rng(cfg.seed * 6079 + n);
+    const Graph g = random_regular_connected(n, 4, rng);
+    const auto spec = estimate_spectrum(g);
+    const double gap = spec.gap() > 1e-9 ? spec.gap() : spec.lazy_gap();
+    const double m = g.num_edges();
+
+    // Lemma 6 at a fixed vertex.
+    const Vertex v = n / 2;
+    const double epi_hv = exact_stationary_hitting_time(g, v);
+    const double lem6 = lemma6_bound(g, v, gap);
+
+    // Corollary 9 for a 4-vertex set, via contraction.
+    const std::vector<Vertex> set{0, n / 4, n / 2, 3 * n / 4};
+    const auto contracted = contract_set(g, set);
+    const double epi_hs =
+        exact_stationary_hitting_time(contracted.graph, contracted.contracted);
+    const double cor9 = corollary9_bound(g, set, gap);
+
+    // Lemma 13 tail at t = 10 m / (d(S) gap)  (comfortably past the
+    // threshold (17)).
+    double d_s = 0;
+    for (const Vertex u : set) d_s += g.degree(u);
+    const std::uint64_t t = static_cast<std::uint64_t>(10.0 * m / (d_s * gap));
+    const double pr = estimate_unvisited_probability(g, set, t, 4000, rng);
+    const double lem13 = std::exp(-static_cast<double>(t) * d_s * gap / (14.0 * m));
+
+    // Eq. (4): T(r) vs C_V for r = 4.
+    const std::uint64_t t_r = measure_visit_all_r_times(g, 0, 4, rng, 1ull << 40);
+    const std::uint64_t cover = measure_visit_all_r_times(g, 0, 1, rng, 1ull << 40);
+
+    std::printf("%6u %7.4f | %9.1f %9.1f | %9.1f %9.1f | %11.5f %11.5f | %9llu %9llu\n",
+                n, gap, epi_hv, lem6, epi_hs, cor9, pr, lem13,
+                static_cast<unsigned long long>(t_r),
+                static_cast<unsigned long long>(cover));
+    csv->row({static_cast<double>(n), gap, epi_hv, lem6, epi_hs, cor9, pr, lem13,
+              static_cast<double>(t_r), static_cast<double>(cover)});
+  }
+  std::printf("\nexpect: every measured column <= its bound column; T(r) within a\n"
+              "        small factor of C_V (blanket-time argument, eq. 4).\n");
+  return 0;
+}

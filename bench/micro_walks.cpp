@@ -1,0 +1,127 @@
+// Step-throughput microbenchmarks (google-benchmark): cost per transition of
+// each walk process on a random 4-regular graph. These guard the O(1)/O(Δ)
+// step complexity claims in the walk implementations.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "walks/choice.hpp"
+#include "walks/eprocess.hpp"
+#include "walks/locally_fair.hpp"
+#include "walks/rotor.hpp"
+#include "walks/rules.hpp"
+#include "walks/srw.hpp"
+#include "walks/vertex_process.hpp"
+
+namespace {
+
+using namespace ewalk;
+
+const Graph& test_graph() {
+  static const Graph g = [] {
+    Rng rng(7);
+    return random_regular_connected(100000, 4, rng);
+  }();
+  return g;
+}
+
+void BM_SrwStep(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Rng rng(1);
+  SimpleRandomWalk walk(g, 0);
+  for (auto _ : state) {
+    walk.step(rng);
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_SrwStep);
+
+void BM_SrwLazyStep(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Rng rng(2);
+  SimpleRandomWalk walk(g, 0, SrwOptions{.lazy = true});
+  for (auto _ : state) {
+    walk.step(rng);
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_SrwLazyStep);
+
+void BM_EProcessStepUniform(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Rng rng(3);
+  UniformRule rule;
+  EProcess walk(g, 0, rule);
+  for (auto _ : state) {
+    walk.step(rng);
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_EProcessStepUniform);
+
+void BM_EProcessStepAdversary(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Rng rng(4);
+  PreferVisitedEndpointRule rule;
+  EProcess walk(g, 0, rule);
+  for (auto _ : state) {
+    walk.step(rng);
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_EProcessStepAdversary);
+
+void BM_RotorStep(benchmark::State& state) {
+  const Graph& g = test_graph();
+  RotorRouter walk(g, 0);
+  for (auto _ : state) {
+    walk.step();
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_RotorStep);
+
+void BM_RwcStep(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Rng rng(5);
+  RandomWalkWithChoice walk(g, 0, 2);
+  for (auto _ : state) {
+    walk.step(rng);
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_RwcStep);
+
+void BM_VertexWalkStep(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Rng rng(6);
+  UnvisitedVertexWalk walk(g, 0);
+  for (auto _ : state) {
+    walk.step(rng);
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_VertexWalkStep);
+
+void BM_LeastUsedStep(benchmark::State& state) {
+  const Graph& g = test_graph();
+  LocallyFairWalk walk(g, 0, FairnessCriterion::kLeastUsedFirst);
+  for (auto _ : state) {
+    walk.step();
+    benchmark::DoNotOptimize(walk.current());
+  }
+}
+BENCHMARK(BM_LeastUsedStep);
+
+void BM_GraphGenRandomRegular(benchmark::State& state) {
+  Rng rng(8);
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_regular(n, 4, rng).num_edges());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GraphGenRandomRegular)->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

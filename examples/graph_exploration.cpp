@@ -1,0 +1,97 @@
+// Adversarial graph exploration demo.
+//
+// Theorem 1 guarantees the E-process covers an even-degree ℓ-good expander
+// in O(n + n log n / ℓ) steps *regardless* of how the unvisited-edge choices
+// are made — "decided on-line by an adversary". This example lets you watch
+// that play out: it runs the E-process under every shipped rule (including a
+// custom inline adversary defined right here against the public rule API)
+// and reports cover times and phase structure.
+//
+//   $ ./graph_exploration [--n 20000] [--r 6] [--seed 7]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/blue.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "walks/eprocess.hpp"
+#include "walks/rules.hpp"
+
+namespace {
+
+using namespace ewalk;
+
+/// A custom adversary written against the public API: always walk the blue
+/// edge whose far endpoint has the *smallest* blue degree — steering the
+/// walk toward nearly-exhausted territory so fresh vertices stay hidden.
+/// (Rules can read anything through the view; they cannot mutate.)
+class StarveFreshVerticesRule final : public UnvisitedEdgeRule {
+ public:
+  explicit StarveFreshVerticesRule(const Graph&) {}
+  std::uint32_t choose(const EProcessView& view, Vertex,
+                       std::span<const Slot> candidates, Rng&) override {
+    std::uint32_t best = 0;
+    std::uint32_t best_score = score(view, candidates[0]);
+    for (std::uint32_t i = 1; i < candidates.size(); ++i) {
+      const std::uint32_t s = score(view, candidates[i]);
+      if (s < best_score) {
+        best = i;
+        best_score = s;
+      }
+    }
+    return best;
+  }
+  const char* name() const override { return "starve-fresh"; }
+
+ private:
+  static std::uint32_t score(const EProcessView& view, const Slot& s) {
+    // Visited endpoints score low (prefer them); fresh endpoints score high.
+    return view.cover().vertex_visited(s.neighbor) ? 0 : 1;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ewalk;
+  const Cli cli(argc, argv);
+  const Vertex n = static_cast<Vertex>(cli.get_int("n", 20000));
+  const std::uint32_t r = static_cast<std::uint32_t>(cli.get_int("r", 6));
+  const std::uint64_t seed = cli.get_u64("seed", 7);
+
+  Rng graph_rng(seed);
+  const Graph g = random_regular_connected(n, r, graph_rng);
+  std::printf("exploring a %u-regular graph, n = %u, m = %u\n\n", r, n, g.num_edges());
+  std::printf("%-22s %12s %10s %10s %10s %8s\n", "rule", "cover time", "C_V/n",
+              "blue", "red", "phases");
+
+  struct Entry {
+    const char* label;
+    std::unique_ptr<UnvisitedEdgeRule> rule;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"uniform (paper GRW)", std::make_unique<UniformRule>()});
+  entries.push_back({"first-slot", std::make_unique<FirstSlotRule>()});
+  entries.push_back({"round-robin", std::make_unique<RoundRobinRule>(g.num_vertices())});
+  entries.push_back({"prefer-visited (adv)", std::make_unique<PreferVisitedEndpointRule>()});
+  entries.push_back({"starve-fresh (adv)", std::make_unique<StarveFreshVerticesRule>(g)});
+  entries.push_back({"greedy-unvisited", std::make_unique<PreferUnvisitedEndpointRule>()});
+
+  for (auto& [label, rule] : entries) {
+    Rng rng(seed + 1);
+    EProcess walk(g, 0, *rule, EProcessOptions{.record_phases = true});
+    walk.run_until_vertex_cover(rng, 1ull << 42);
+    std::printf("%-22s %12llu %10.3f %10llu %10llu %8zu\n", label,
+                static_cast<unsigned long long>(walk.cover().vertex_cover_step()),
+                static_cast<double>(walk.cover().vertex_cover_step()) / n,
+                static_cast<unsigned long long>(walk.blue_steps()),
+                static_cast<unsigned long long>(walk.red_steps()),
+                walk.phases().size());
+  }
+
+  std::printf(
+      "\nreading: every rule — including the two adversaries — lands within a\n"
+      "constant factor of n, as Theorem 1 promises for even-degree expanders.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Cycle census. Corollary 4 of the paper bounds the edge cover time of
+// random regular graphs by controlling N_k, the number of cycles of length
+// k, for small k (E N_k = θ_k r^k / k). This module counts short cycles
+// exactly and checks whether short cycles are pairwise vertex-disjoint (the
+// property used in Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Exact count of simple cycles of each length 3..max_len (index k holds
+/// N_k; indices 0..2 unused and zero). Requires a simple graph. DFS path
+/// enumeration with canonical roots: O(n · Δ^max_len) — intended for
+/// max_len <= ~10 on sparse graphs.
+std::vector<std::uint64_t> count_cycles_up_to(const Graph& g, std::uint32_t max_len);
+
+/// Lists the vertex sets of all simple cycles of length <= max_len.
+std::vector<std::vector<Vertex>> enumerate_short_cycles(const Graph& g,
+                                                        std::uint32_t max_len);
+
+/// True iff all simple cycles of length <= max_len are pairwise
+/// vertex-disjoint (property used for Corollary 4's small-cycle argument).
+bool short_cycles_vertex_disjoint(const Graph& g, std::uint32_t max_len);
+
+}  // namespace ewalk

@@ -1,0 +1,103 @@
+#include "analysis/girth.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace ewalk {
+
+namespace {
+
+/// BFS from source that ignores one edge id; returns distance to target or
+/// kUnreachable. Early exit once target is popped.
+std::uint32_t bfs_skip_edge(const Graph& g, Vertex source, Vertex target, EdgeId skip) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<Vertex> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    if (u == target) return dist[u];
+    for (const Slot& s : g.slots(u)) {
+      if (s.edge == skip) continue;
+      if (dist[s.neighbor] == kUnreachable) {
+        dist[s.neighbor] = dist[u] + 1;
+        q.push(s.neighbor);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+/// Shortest cycle found by a BFS rooted at `root`, with an optional cap used
+/// for early termination. This is the classic exact-girth sweep primitive:
+/// the minimum over all roots of this value equals the girth.
+std::uint32_t bfs_cycle_bound(const Graph& g, Vertex root, std::uint32_t cap,
+                              std::vector<std::uint32_t>& dist,
+                              std::vector<EdgeId>& via_edge) {
+  constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+  std::fill(dist.begin(), dist.end(), kUnreachable);
+  std::fill(via_edge.begin(), via_edge.end(), kNoEdge);
+  std::queue<Vertex> q;
+  dist[root] = 0;
+  q.push(root);
+  std::uint32_t best = cap;
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    if (2 * dist[u] >= best) break;  // no shorter closure can be found deeper
+    for (const Slot& s : g.slots(u)) {
+      if (s.edge == via_edge[u]) continue;  // don't reuse the tree edge
+      const Vertex w = s.neighbor;
+      if (w == u) {
+        best = std::min(best, 1u);  // self-loop
+        continue;
+      }
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        via_edge[w] = s.edge;
+        q.push(w);
+      } else if (s.edge != via_edge[w]) {
+        // Closure edge (not the tree edge that discovered w): cycle of
+        // length dist[u] + dist[w] + 1 (may be a non-simple closure; still
+        // an upper bound, exact at the cycle's own minimal root).
+        best = std::min(best, dist[u] + dist[w] + 1);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint32_t girth(const Graph& g) {
+  std::uint32_t best = kInfiniteGirth;
+  std::vector<std::uint32_t> dist(g.num_vertices());
+  std::vector<EdgeId> via_edge(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    best = bfs_cycle_bound(g, v, best, dist, via_edge);
+    if (best <= 1) return best;
+  }
+  return best;
+}
+
+std::uint32_t shortest_cycle_through_edge(const Graph& g, EdgeId e) {
+  const auto [u, v] = g.endpoints(e);
+  if (u == v) return 1;
+  const std::uint32_t d = bfs_skip_edge(g, u, v, e);
+  return d == kUnreachable ? kInfiniteGirth : d + 1;
+}
+
+std::uint32_t shortest_cycle_through_vertex(const Graph& g, Vertex v) {
+  std::uint32_t best = kInfiniteGirth;
+  for (const Slot& s : g.slots(v)) {
+    best = std::min(best, shortest_cycle_through_edge(g, s.edge));
+    if (best <= 1) break;
+  }
+  return best;
+}
+
+}  // namespace ewalk

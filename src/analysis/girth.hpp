@@ -1,0 +1,28 @@
+// Girth and shortest-cycle queries (Theorem 3 of the paper bounds edge cover
+// time in terms of girth g; Lemma 16/17 examine paths in the depth-⌊g/2⌋
+// BFS tree).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Returned when the graph is acyclic (infinite girth).
+inline constexpr std::uint32_t kInfiniteGirth = std::numeric_limits<std::uint32_t>::max();
+
+/// Exact girth. Self-loops give girth 1, parallel edges girth 2.
+/// O(n·(n+m)) BFS sweep with early cutoff.
+std::uint32_t girth(const Graph& g);
+
+/// Length of the shortest cycle using edge e: 1 + dist_{G-e}(u, v).
+/// Returns kInfiniteGirth when e is a bridge. Self-loop: 1.
+std::uint32_t shortest_cycle_through_edge(const Graph& g, EdgeId e);
+
+/// Length of the shortest cycle passing through v (min over incident edges);
+/// kInfiniteGirth if no cycle passes through v.
+std::uint32_t shortest_cycle_through_vertex(const Graph& g, Vertex v);
+
+}  // namespace ewalk

@@ -1,0 +1,87 @@
+#include "analysis/profile.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/ell_good.hpp"
+#include "analysis/girth.hpp"
+#include "graph/algorithms.hpp"
+#include "spectral/conductance.hpp"
+#include "spectral/spectrum.hpp"
+
+namespace ewalk {
+
+GraphProfile profile_graph(const Graph& g, const ProfileOptions& options) {
+  GraphProfile p;
+  p.n = g.num_vertices();
+  p.m = g.num_edges();
+  p.min_degree = g.min_degree();
+  p.max_degree = g.max_degree();
+  p.all_degrees_even = g.all_degrees_even();
+  p.simple = g.is_simple();
+  p.connected = is_connected(g);
+
+  p.girth = girth(g);
+  if (options.compute_ell) p.certified_ell = certified_ell_good(g, options.density_size);
+
+  const auto spec = estimate_spectrum(g);
+  p.lambda2 = spec.lambda2;
+  p.lambda_n = spec.lambda_n;
+  p.gap = spec.gap();
+  p.lazy_gap = spec.lazy_gap();
+  const auto phi = conductance_bounds_from_lambda2(spec.lambda2);
+  p.conductance_lower = phi.lower;
+  p.conductance_upper = phi.upper;
+
+  const double usable_gap = p.gap > 1e-9 ? p.gap : p.lazy_gap;
+  if (usable_gap > 1e-12) {
+    p.mixing_time = mixing_time_estimate(usable_gap, p.n);
+    const double n = p.n;
+    const double m = p.m;
+    if (options.compute_ell && p.certified_ell > 0 &&
+        p.certified_ell != kInfiniteGirth) {
+      p.theorem1_shape = n + n * std::log(n) / (p.certified_ell * usable_gap);
+    }
+    if (p.girth != kInfiniteGirth) {
+      p.theorem3_shape = m + m / (usable_gap * usable_gap) *
+                                 (std::log(n) / p.girth + std::log(p.max_degree));
+    }
+  }
+  return p;
+}
+
+std::string format_profile(const GraphProfile& p) {
+  std::ostringstream out;
+  out << "vertices              " << p.n << "\n"
+      << "edges                 " << p.m << "\n"
+      << "degrees               [" << p.min_degree << ", " << p.max_degree << "]"
+      << (p.all_degrees_even ? " (all even)" : " (odd present)") << "\n"
+      << "simple / connected    " << (p.simple ? "yes" : "no") << " / "
+      << (p.connected ? "yes" : "no") << "\n"
+      << "girth                 ";
+  if (p.girth == kInfiniteGirth) {
+    out << "infinite (acyclic)\n";
+  } else {
+    out << p.girth << "\n";
+  }
+  out << "certified ell-good    ";
+  if (p.certified_ell == kInfiniteGirth) {
+    out << "vacuous (acyclic)\n";
+  } else if (p.certified_ell == 0) {
+    out << "(skipped)\n";
+  } else {
+    out << ">= " << p.certified_ell << "\n";
+  }
+  out << "lambda2 / lambda_n    " << p.lambda2 << " / " << p.lambda_n << "\n"
+      << "gap (lazy gap)        " << p.gap << " (" << p.lazy_gap << ")\n"
+      << "conductance in        [" << p.conductance_lower << ", "
+      << p.conductance_upper << "]\n"
+      << "mixing time (Lem 7)   " << p.mixing_time << "\n";
+  if (p.theorem1_shape > 0)
+    out << "Thm 1 cover shape     " << p.theorem1_shape << "\n";
+  if (p.theorem3_shape > 0)
+    out << "Thm 3 edge shape      " << p.theorem3_shape << "\n";
+  return out.str();
+}
+
+}  // namespace ewalk

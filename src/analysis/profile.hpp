@@ -1,0 +1,56 @@
+// One-call graph profile: every structural quantity the paper's theorems
+// consume, gathered into a single report. Used by the expander_census
+// example and the `ewalk --profile` CLI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+struct GraphProfile {
+  Vertex n = 0;
+  EdgeId m = 0;
+  std::uint32_t min_degree = 0;
+  std::uint32_t max_degree = 0;
+  bool all_degrees_even = false;
+  bool simple = false;
+  bool connected = false;
+
+  std::uint32_t girth = 0;            ///< kInfiniteGirth when acyclic
+  std::uint32_t certified_ell = 0;    ///< certified ℓ-goodness lower bound
+
+  double lambda2 = 0.0;
+  double lambda_n = 0.0;
+  double gap = 0.0;                   ///< 1 - λmax (0 when bipartite)
+  double lazy_gap = 0.0;              ///< (1 - λ2)/2
+  double conductance_lower = 0.0;     ///< Cheeger from λ2 (eq. 19)
+  double conductance_upper = 0.0;
+  double mixing_time = 0.0;           ///< Lemma 7 with the usable gap
+
+  /// Theorem 1 cover-time shape n + n log n / (ℓ * gap), using the lazy gap
+  /// when the plain gap vanishes; 0 when no usable gap exists.
+  double theorem1_shape = 0.0;
+  /// Theorem 3 edge-cover shape m + m/(gap²) (log n / g + log Δ).
+  double theorem3_shape = 0.0;
+};
+
+struct ProfileOptions {
+  /// Size bound for the ℓ-goodness density certificate (has_dense_subgraph);
+  /// cost grows exponentially with it.
+  std::uint32_t density_size = 6;
+  /// Skip the ℓ-goodness computation entirely (it is the expensive part on
+  /// graphs with many degree-2 vertices).
+  bool compute_ell = true;
+};
+
+/// Computes the full profile. Requires a connected graph with edges.
+GraphProfile profile_graph(const Graph& g, const ProfileOptions& options = {});
+
+/// Multi-line human-readable rendering.
+std::string format_profile(const GraphProfile& p);
+
+}  // namespace ewalk

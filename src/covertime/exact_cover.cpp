@@ -1,0 +1,195 @@
+#include "covertime/exact_cover.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace ewalk {
+
+namespace {
+
+/// Solves the dense system a·x = b in place (partial pivoting); k unknowns.
+void solve_dense(std::vector<double>& a, std::vector<double>& b, std::size_t k) {
+  const auto at = [&](std::size_t r, std::size_t c) -> double& { return a[r * k + c]; };
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r)
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    if (std::abs(at(pivot, col)) < 1e-13)
+      throw std::logic_error("exact_cover: singular layer system");
+    if (pivot != col) {
+      for (std::size_t c = col; c < k; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / at(col, col);
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double f = at(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < k; ++c) at(r, c) -= f * at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t r = k; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < k; ++c) acc -= at(r, c) * b[c];
+    b[r] = acc / at(r, r);
+  }
+}
+
+/// Subsets of {0..bits-1} ordered by descending popcount.
+std::vector<std::uint32_t> subsets_by_popcount_desc(std::uint32_t bits) {
+  std::vector<std::uint32_t> subsets(std::size_t{1} << bits);
+  for (std::uint32_t s = 0; s < subsets.size(); ++s) subsets[s] = s;
+  std::sort(subsets.begin(), subsets.end(), [](std::uint32_t a, std::uint32_t b) {
+    const int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+  return subsets;
+}
+
+}  // namespace
+
+double exact_srw_vertex_cover_time(const Graph& g, Vertex start) {
+  const std::uint32_t n = g.num_vertices();
+  if (n > 16) throw std::invalid_argument("exact_srw_vertex_cover_time: n > 16");
+  if (!is_connected(g))
+    throw std::invalid_argument("exact_srw_vertex_cover_time: graph must be connected");
+  if (start >= n) throw std::invalid_argument("exact_srw_vertex_cover_time: bad start");
+  const std::uint32_t full = (n == 32 ? ~0u : (1u << n) - 1);
+
+  // memo[T * n + v] = E[steps to cover | visited set T, at v]; valid for v∈T.
+  std::vector<double> memo((std::size_t{1} << n) * n, 0.0);
+  std::vector<std::size_t> index(n);
+  std::vector<double> a, b;
+
+  for (const std::uint32_t t : subsets_by_popcount_desc(n)) {
+    if (!(t & (1u << start)) && t != full) continue;  // unreachable from start
+    if (t == full) continue;                          // absorbed: 0
+    // Unknowns: h(t, v) for v ∈ t.
+    std::size_t k = 0;
+    for (Vertex v = 0; v < n; ++v)
+      if (t & (1u << v)) index[v] = k++;
+    a.assign(k * k, 0.0);
+    b.assign(k, 0.0);
+    for (Vertex v = 0; v < n; ++v) {
+      if (!(t & (1u << v))) continue;
+      const std::size_t r = index[v];
+      a[r * k + r] += 1.0;
+      const double p = 1.0 / g.degree(v);
+      double rhs = 1.0;
+      for (const Slot& s : g.slots(v)) {
+        const Vertex w = s.neighbor;
+        if (t & (1u << w)) {
+          a[r * k + index[w]] -= p;
+        } else {
+          rhs += p * memo[(std::size_t{t} | (1u << w)) * n + w];
+        }
+      }
+      b[r] = rhs;
+    }
+    solve_dense(a, b, k);
+    for (Vertex v = 0; v < n; ++v)
+      if (t & (1u << v)) memo[std::size_t{t} * n + v] = b[index[v]];
+  }
+  return memo[(std::size_t{1} << start) * n + start];
+}
+
+namespace {
+
+/// Shared engine for the uniform-rule E-process oracle. `edge_target` picks
+/// edge cover (S == full) vs vertex cover (endpoints(S) ∪ {start} == V).
+double exact_eprocess_cover(const Graph& g, Vertex start, bool edge_target) {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t m = g.num_edges();
+  if (m > 18) throw std::invalid_argument("exact_eprocess_cover: m > 18");
+  if (!is_connected(g))
+    throw std::invalid_argument("exact_eprocess_cover: graph must be connected");
+  if (start >= n) throw std::invalid_argument("exact_eprocess_cover: bad start");
+  const std::uint32_t full = (m == 32 ? ~0u : (1u << m) - 1);
+  const std::uint32_t all_vertices = (n == 32 ? ~0u : (1u << n) - 1);
+
+  // Visited-vertex mask per edge set (endpoints of visited edges + start).
+  const auto covered_vertices = [&](std::uint32_t s) {
+    std::uint32_t mask = 1u << start;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (s & (1u << e)) {
+        const auto [u, v] = g.endpoints(e);
+        mask |= (1u << u) | (1u << v);
+      }
+    }
+    return mask;
+  };
+
+  std::vector<double> memo((std::size_t{1} << m) * n, 0.0);
+  std::vector<std::size_t> index(n);
+  std::vector<double> a, b, blue_value(n);
+
+  for (const std::uint32_t s : subsets_by_popcount_desc(m)) {
+    const bool done = edge_target ? (s == full)
+                                  : ((covered_vertices(s) & all_vertices) == all_vertices);
+    if (done) continue;  // absorbed: 0
+
+    // First pass: states (s, v) where v has blue incident edges leave the
+    // layer immediately — their value is a constant over next-layer memos.
+    std::size_t k = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      std::uint32_t blue = 0;
+      for (const Slot& sl : g.slots(v))
+        if (!(s & (1u << sl.edge))) ++blue;
+      if (blue > 0) {
+        double acc = 1.0;
+        for (const Slot& sl : g.slots(v)) {
+          if (s & (1u << sl.edge)) continue;
+          acc += memo[(std::size_t{s} | (1u << sl.edge)) * n + sl.neighbor] / blue;
+        }
+        blue_value[v] = acc;
+        index[v] = static_cast<std::size_t>(-1);
+      } else {
+        index[v] = k++;
+      }
+    }
+
+    // Second pass: all-red vertices form the same-layer linear system.
+    if (k > 0) {
+      a.assign(k * k, 0.0);
+      b.assign(k, 0.0);
+      for (Vertex v = 0; v < n; ++v) {
+        if (index[v] == static_cast<std::size_t>(-1)) continue;
+        const std::size_t r = index[v];
+        a[r * k + r] += 1.0;
+        const double p = 1.0 / g.degree(v);
+        double rhs = 1.0;
+        for (const Slot& sl : g.slots(v)) {
+          const Vertex w = sl.neighbor;
+          if (index[w] == static_cast<std::size_t>(-1)) {
+            rhs += p * blue_value[w];
+          } else {
+            a[r * k + index[w]] -= p;
+          }
+        }
+        b[r] = rhs;
+      }
+      solve_dense(a, b, k);
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      memo[std::size_t{s} * n + v] =
+          index[v] == static_cast<std::size_t>(-1) ? blue_value[v] : b[index[v]];
+    }
+  }
+  return memo[0 * n + start];
+}
+
+}  // namespace
+
+double exact_eprocess_vertex_cover_time(const Graph& g, Vertex start) {
+  return exact_eprocess_cover(g, start, /*edge_target=*/false);
+}
+
+double exact_eprocess_edge_cover_time(const Graph& g, Vertex start) {
+  return exact_eprocess_cover(g, start, /*edge_target=*/true);
+}
+
+}  // namespace ewalk

@@ -1,0 +1,35 @@
+// Exact expected vertex cover times on tiny graphs — an oracle for the
+// simulator.
+//
+// Both walks are Markov chains on an augmented state space:
+//   * SRW:       (visited vertex set T, current vertex v ∈ T);
+//   * E-process: (visited edge set S, current vertex v) — the visited
+//     vertex set is derivable as endpoints(S) ∪ {start}, and the uniform
+//     rule makes the process Markov on (S, v).
+// Transitions only grow the set, so expected cover times solve by backward
+// induction over set layers; within one layer the walk can move among
+// same-layer states (red moves / moves to already-visited vertices), giving
+// one small linear system per layer (Gaussian elimination, states ordered
+// by popcount descending).
+//
+// Complexity: O(2^n · n³) for the SRW (n <= 16) and O(2^m · n³) for the
+// E-process (m <= 18). Use for tests and tiny-graph studies only.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Exact E[vertex cover time] of the simple random walk from `start`.
+/// Requires a connected graph with n <= 16.
+double exact_srw_vertex_cover_time(const Graph& g, Vertex start);
+
+/// Exact E[vertex cover time] of the E-process with the *uniform* rule A
+/// from `start`. Requires a connected graph with m <= 18.
+double exact_eprocess_vertex_cover_time(const Graph& g, Vertex start);
+
+/// Exact E[edge cover time] of the uniform-rule E-process from `start`.
+/// Requires a connected graph with m <= 18.
+double exact_eprocess_edge_cover_time(const Graph& g, Vertex start);
+
+}  // namespace ewalk

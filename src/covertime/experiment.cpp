@@ -1,0 +1,129 @@
+#include "covertime/experiment.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "walks/srw.hpp"
+
+namespace ewalk {
+
+std::vector<double> run_trials(std::uint32_t count, std::uint32_t threads,
+                               std::uint64_t master_seed,
+                               const std::function<double(Rng&, std::uint32_t)>& fn) {
+  std::vector<Rng> streams = derive_streams(master_seed, count);
+  std::vector<double> results(count, 0.0);
+
+  std::uint32_t workers = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, count == 0 ? 1u : count);
+
+  if (workers <= 1) {
+    for (std::uint32_t i = 0; i < count; ++i) results[i] = fn(streams[i], i);
+    return results;
+  }
+
+  std::atomic<std::uint32_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        results[i] = fn(streams[i], i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+SummaryStats run_trials_summary(std::uint32_t count, std::uint32_t threads,
+                                std::uint64_t master_seed,
+                                const std::function<double(Rng&, std::uint32_t)>& fn) {
+  const auto samples = run_trials(count, threads, master_seed, fn);
+  return summarize(samples);
+}
+
+namespace {
+
+std::uint64_t default_max_steps(const Graph& g) {
+  // Generous ceiling: well above C_V for everything we simulate (the SRW on
+  // an n-vertex expander needs ~n ln n; lollipops are excluded from the
+  // default path by their own benches passing explicit budgets).
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  return 200 * (n + m) * (64 - std::min<std::uint64_t>(63, __builtin_clzll(n | 1))) + 1000000;
+}
+
+}  // namespace
+
+CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
+                                             const RuleFactory& rules,
+                                             const CoverExperimentConfig& config) {
+  std::atomic<std::uint32_t> uncovered{0};
+  auto samples = run_trials(
+      config.trials, config.threads, config.master_seed,
+      [&](Rng& rng, std::uint32_t) -> double {
+        const Graph g = graphs(rng);
+        auto rule = rules(g);
+        EProcess walk(g, /*start=*/0, *rule);
+        const std::uint64_t budget =
+            config.max_steps != 0 ? config.max_steps : default_max_steps(g);
+        bool done;
+        std::uint64_t result;
+        if (config.target == CoverTarget::kVertices) {
+          done = walk.run_until_vertex_cover(rng, budget);
+          result = walk.cover().vertex_cover_step();
+        } else {
+          done = walk.run_until_edge_cover(rng, budget);
+          result = walk.cover().edge_cover_step();
+        }
+        if (!done) {
+          uncovered.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<double>(budget);
+        }
+        return static_cast<double>(result);
+      });
+
+  CoverExperimentResult out;
+  out.samples = std::move(samples);
+  out.stats = summarize(out.samples);
+  out.uncovered_trials = uncovered.load();
+  return out;
+}
+
+CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
+                                        const CoverExperimentConfig& config) {
+  std::atomic<std::uint32_t> uncovered{0};
+  auto samples = run_trials(
+      config.trials, config.threads, config.master_seed,
+      [&](Rng& rng, std::uint32_t) -> double {
+        const Graph g = graphs(rng);
+        SimpleRandomWalk walk(g, /*start=*/0);
+        const std::uint64_t budget =
+            config.max_steps != 0 ? config.max_steps : default_max_steps(g);
+        bool done;
+        std::uint64_t result;
+        if (config.target == CoverTarget::kVertices) {
+          done = walk.run_until_vertex_cover(rng, budget);
+          result = walk.cover().vertex_cover_step();
+        } else {
+          done = walk.run_until_edge_cover(rng, budget);
+          result = walk.cover().edge_cover_step();
+        }
+        if (!done) {
+          uncovered.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<double>(budget);
+        }
+        return static_cast<double>(result);
+      });
+
+  CoverExperimentResult out;
+  out.samples = std::move(samples);
+  out.stats = summarize(out.samples);
+  out.uncovered_trials = uncovered.load();
+  return out;
+}
+
+}  // namespace ewalk

@@ -1,0 +1,72 @@
+// Multi-trial experiment runner.
+//
+// The paper's Figure 1 plots the trial-mean normalised cover time (5 trials
+// per point, new random graph per trial). This module provides:
+//   * run_trials — generic parallel trial executor with per-trial
+//     deterministic RNG streams (bit-reproducible regardless of thread
+//     scheduling);
+//   * measure_* convenience wrappers for the common walk/cover pairings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "walks/eprocess.hpp"
+
+namespace ewalk {
+
+/// Runs `count` trials of `fn`, each with an independent stream derived from
+/// `master_seed`, on up to `threads` worker threads (0 => hardware default).
+/// Trial i's stream depends only on (master_seed, i). Results are returned
+/// in trial order. `fn` must be safe to call concurrently from several
+/// threads (it receives a private Rng).
+std::vector<double> run_trials(std::uint32_t count, std::uint32_t threads,
+                               std::uint64_t master_seed,
+                               const std::function<double(Rng&, std::uint32_t)>& fn);
+
+/// run_trials + summarize.
+SummaryStats run_trials_summary(std::uint32_t count, std::uint32_t threads,
+                                std::uint64_t master_seed,
+                                const std::function<double(Rng&, std::uint32_t)>& fn);
+
+/// What a cover-time trial should measure.
+enum class CoverTarget : std::uint8_t { kVertices, kEdges };
+
+/// Factory producing a fresh graph for each trial (Figure 1 draws a new
+/// random regular graph per experiment).
+using GraphFactory = std::function<Graph(Rng&)>;
+
+/// Factory producing a fresh rule per trial (rules can be stateful).
+using RuleFactory = std::function<std::unique_ptr<UnvisitedEdgeRule>(const Graph&)>;
+
+struct CoverExperimentConfig {
+  std::uint32_t trials = 5;      ///< the paper used 5 per data point
+  std::uint32_t threads = 0;     ///< 0 = hardware concurrency
+  std::uint64_t master_seed = 1;
+  std::uint64_t max_steps = 0;   ///< 0 = 10^7 * safety heuristic (see .cpp)
+  CoverTarget target = CoverTarget::kVertices;
+};
+
+/// Mean cover time of the E-process: a fresh graph and rule per trial, walk
+/// started at vertex 0. Trials that fail to cover within max_steps
+/// contribute max_steps (and are counted in `uncovered_trials`).
+struct CoverExperimentResult {
+  SummaryStats stats;               ///< cover-time samples
+  std::vector<double> samples;      ///< one per trial, trial order
+  std::uint32_t uncovered_trials = 0;
+};
+
+CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
+                                             const RuleFactory& rules,
+                                             const CoverExperimentConfig& config);
+
+/// Same, for the simple random walk.
+CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
+                                        const CoverExperimentConfig& config);
+
+}  // namespace ewalk

@@ -1,0 +1,160 @@
+#include "covertime/hitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "walks/srw.hpp"
+
+namespace ewalk {
+
+namespace {
+
+/// One exact SRW distribution step: out = ρ P.
+void distribution_step(const Graph& g, const std::vector<double>& rho,
+                       std::vector<double>& out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (rho[v] == 0.0) continue;
+    const double share = rho[v] / g.degree(v);
+    for (const Slot& s : g.slots(v)) out[s.neighbor] += share;
+  }
+}
+
+}  // namespace
+
+std::vector<double> exact_hitting_times(const Graph& g, Vertex target) {
+  const std::size_t n = g.num_vertices();
+  if (target >= n) throw std::invalid_argument("exact_hitting_times: target out of range");
+  if (n > 4096) throw std::invalid_argument("exact_hitting_times: graph too large");
+  if (!is_connected(g)) throw std::invalid_argument("exact_hitting_times: graph must be connected");
+  if (n == 1) return {0.0};
+
+  // Unknowns: h(u) for u != target. Row for u: h(u) - Σ_{w != target}
+  // P(u,w) h(w) = 1. Dense Gaussian elimination with partial pivoting.
+  const std::size_t k = n - 1;
+  const auto idx = [target](Vertex u) -> std::size_t {
+    return u < target ? u : u - 1;
+  };
+  std::vector<double> a(k * (k + 1), 0.0);  // augmented matrix
+  const auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return a[r * (k + 1) + c];
+  };
+  for (Vertex u = 0; u < n; ++u) {
+    if (u == target) continue;
+    const std::size_t r = idx(u);
+    at(r, r) += 1.0;
+    const double p = 1.0 / g.degree(u);
+    for (const Slot& s : g.slots(u)) {
+      if (s.neighbor == target) continue;
+      at(r, idx(s.neighbor)) -= p;
+    }
+    at(r, k) = 1.0;
+  }
+
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r)
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    if (std::abs(at(pivot, col)) < 1e-14)
+      throw std::logic_error("exact_hitting_times: singular system");
+    if (pivot != col)
+      for (std::size_t c = col; c <= k; ++c) std::swap(at(pivot, c), at(col, c));
+    const double inv = 1.0 / at(col, col);
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double f = at(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c <= k; ++c) at(r, c) -= f * at(col, c);
+    }
+  }
+  std::vector<double> x(k, 0.0);
+  for (std::size_t r = k; r-- > 0;) {
+    double acc = at(r, k);
+    for (std::size_t c = r + 1; c < k; ++c) acc -= at(r, c) * x[c];
+    x[r] = acc / at(r, r);
+  }
+
+  std::vector<double> h(n, 0.0);
+  for (Vertex u = 0; u < n; ++u)
+    if (u != target) h[u] = x[idx(u)];
+  return h;
+}
+
+double exact_stationary_hitting_time(const Graph& g, Vertex v) {
+  const auto h = exact_hitting_times(g, v);
+  double acc = 0.0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    acc += g.stationary_probability(u) * h[u];
+  return acc;
+}
+
+double exact_commute_time(const Graph& g, Vertex u, Vertex v) {
+  const auto hu = exact_hitting_times(g, v);
+  const auto hv = exact_hitting_times(g, u);
+  return hu[u] + hv[v];
+}
+
+double expected_return_time(const Graph& g, Vertex v) {
+  return 1.0 / g.stationary_probability(v);
+}
+
+double zvv(const Graph& g, Vertex v, bool lazy, double tol, std::uint32_t max_terms) {
+  if (v >= g.num_vertices()) throw std::invalid_argument("zvv: vertex out of range");
+  const double pi_v = g.stationary_probability(v);
+  std::vector<double> rho(g.num_vertices(), 0.0), next(g.num_vertices(), 0.0);
+  rho[v] = 1.0;
+  double acc = 0.0;
+  for (std::uint32_t t = 0; t < max_terms; ++t) {
+    const double term = rho[v] - pi_v;
+    acc += term;
+    if (t > 0 && std::abs(term) < tol) break;
+    distribution_step(g, rho, next);
+    if (lazy) {
+      for (Vertex u = 0; u < g.num_vertices(); ++u)
+        next[u] = 0.5 * rho[u] + 0.5 * next[u];
+    }
+    rho.swap(next);
+  }
+  return acc;
+}
+
+double estimate_unvisited_probability(const Graph& g, std::span<const Vertex> set,
+                                      std::uint64_t t, std::uint32_t trials, Rng& rng) {
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (const Vertex v : set) in_set[v] = true;
+
+  // Stationary start: pick the start vertex with probability d(v)/2m by
+  // drawing a uniform slot and taking its owner — equivalent and O(1).
+  std::vector<Vertex> slot_owner;
+  slot_owner.reserve(2 * g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (std::uint32_t i = 0; i < g.degree(v); ++i) slot_owner.push_back(v);
+
+  std::uint32_t unvisited = 0;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    Vertex at = slot_owner[rng.uniform(slot_owner.size())];
+    bool hit = in_set[at];
+    for (std::uint64_t step = 0; step < t && !hit; ++step) {
+      const Slot s = g.slot(at, static_cast<std::uint32_t>(rng.uniform(g.degree(at))));
+      at = s.neighbor;
+      hit = in_set[at];
+    }
+    if (!hit) ++unvisited;
+  }
+  return static_cast<double>(unvisited) / trials;
+}
+
+double lemma6_bound(const Graph& g, Vertex v, double gap) {
+  if (gap <= 0.0) throw std::invalid_argument("lemma6_bound: gap must be positive");
+  return 1.0 / (gap * g.stationary_probability(v));
+}
+
+double corollary9_bound(const Graph& g, std::span<const Vertex> set, double gap) {
+  if (gap <= 0.0) throw std::invalid_argument("corollary9_bound: gap must be positive");
+  double d_s = 0.0;
+  for (const Vertex v : set) d_s += g.degree(v);
+  return 2.0 * g.num_edges() / (d_s * gap);
+}
+
+}  // namespace ewalk

@@ -1,0 +1,56 @@
+// Hitting, return, and commute times (Section 2.2 of the paper).
+//
+// Exact quantities come from dense linear solves on the SRW transition
+// matrix (suitable for n up to a couple thousand — tests and bench-scale
+// validation); the same quantities can be estimated empirically at any
+// scale. Together these validate, with exact numbers:
+//   * E_u T_u^+ = 1/π_u                        (first return time)
+//   * E_π(H_v) = Z_vv / π_v                    (eqs. 6–7)
+//   * Lemma 6:  E_π(H_v) <= 1/((1-λmax) π_v)
+//   * Cor.  9:  E_π(H_S) <= 2m/(d(S)(1-λmax)), via contraction Γ(S)
+//   * Lemma 8/13 exponential tails for Pr(S unvisited at t)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ewalk {
+
+/// Exact expected hitting times E_u(H_target) for all u, via the linear
+/// system h(target) = 0, h(u) = 1 + Σ_w P(u,w) h(w). Dense Gaussian
+/// elimination, O(n³); requires a connected graph and n <= 4096.
+std::vector<double> exact_hitting_times(const Graph& g, Vertex target);
+
+/// Exact E_π(H_v): Σ_u π_u E_u(H_v).
+double exact_stationary_hitting_time(const Graph& g, Vertex v);
+
+/// Exact commute time K(u,v) = E_u(H_v) + E_v(H_u).
+double exact_commute_time(const Graph& g, Vertex u, Vertex v);
+
+/// Closed-form expected first return time 1/π_v.
+double expected_return_time(const Graph& g, Vertex v);
+
+/// Z_vv = Σ_t (P^t_v(v) - π_v) (eq. 7), evaluated by iterating the exact
+/// distribution until the term falls below `tol` or `max_terms` is reached.
+/// The walk must be aperiodic (use `lazy` for bipartite graphs; the lazy
+/// value relates to the lazy chain's hitting times).
+double zvv(const Graph& g, Vertex v, bool lazy = false, double tol = 1e-12,
+           std::uint32_t max_terms = 1000000);
+
+/// Empirical Pr(set S unvisited by a stationary-start SRW at time t),
+/// estimated over `trials` independent walks (Lemma 13's event A_t(S)).
+double estimate_unvisited_probability(const Graph& g, std::span<const Vertex> set,
+                                      std::uint64_t t, std::uint32_t trials, Rng& rng);
+
+/// Lemma 6 right-hand side: 1/((1-λmax) π_v). Pass the gap you trust
+/// (lazy gap for bipartite graphs).
+double lemma6_bound(const Graph& g, Vertex v, double gap);
+
+/// Corollary 9 right-hand side: 2m/(d(S)(1-λmax(G))).
+double corollary9_bound(const Graph& g, std::span<const Vertex> set, double gap);
+
+}  // namespace ewalk

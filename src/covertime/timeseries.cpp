@@ -1,0 +1,30 @@
+#include "covertime/timeseries.hpp"
+
+namespace ewalk {
+
+std::uint64_t CoverageRecorder::step_at_vertex_fraction(double q, std::uint32_t n) const {
+  const double target = q * n;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].vertices_covered >= target) {
+      if (i == 0) return points_[0].step;
+      // Linear interpolation between the bracketing samples.
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double span = static_cast<double>(b.vertices_covered - a.vertices_covered);
+      if (span <= 0) return b.step;
+      const double frac = (target - a.vertices_covered) / span;
+      return a.step + static_cast<std::uint64_t>(frac * (b.step - a.step));
+    }
+  }
+  return points_.empty() ? 0 : points_.back().step;
+}
+
+double CoverageRecorder::uncovered_area(std::uint32_t n) const {
+  if (points_.empty() || n == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& p : points_)
+    acc += 1.0 - static_cast<double>(p.vertices_covered) / n;
+  return acc / static_cast<double>(points_.size());
+}
+
+}  // namespace ewalk

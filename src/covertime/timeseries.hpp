@@ -1,0 +1,60 @@
+// Coverage time-series instrumentation.
+//
+// Cover *time* is one number; the cover *curve* (fraction of vertices/edges
+// covered as a function of step) explains it. For the E-process on
+// even-degree expanders the curve is near-linear until ~n, then a short
+// tail; for the SRW it has the classic coupon-collector log tail; for the
+// E-process on 3-regular graphs the tail is the star mop-up of Section 5.
+// This module samples such curves at a fixed step stride for any process
+// exposing steps()/cover().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+struct CoveragePoint {
+  std::uint64_t step;
+  std::uint32_t vertices_covered;
+  std::uint32_t edges_covered;
+};
+
+/// Samples a walk's coverage curve. Drive via `record(walk)` after each
+/// burst of steps (the class decides whether the stride boundary passed).
+class CoverageRecorder {
+ public:
+  explicit CoverageRecorder(std::uint64_t stride) : stride_(stride) {
+    if (stride == 0) stride_ = 1;
+  }
+
+  /// Call after stepping the walk; appends a sample when the stride
+  /// boundary was crossed since the last sample.
+  template <typename Walk>
+  void record(const Walk& walk) {
+    if (walk.steps() < next_sample_) return;
+    points_.push_back(CoveragePoint{walk.steps(), walk.cover().vertices_covered(),
+                                    walk.cover().edges_covered()});
+    next_sample_ = walk.steps() + stride_;
+  }
+
+  const std::vector<CoveragePoint>& points() const { return points_; }
+
+  /// Step at which the fraction `q` of all n vertices was first covered
+  /// (linear interpolation between samples); returns the last sample's step
+  /// if never reached.
+  std::uint64_t step_at_vertex_fraction(double q, std::uint32_t n) const;
+
+  /// Area above the coverage curve, normalised: mean over sampled steps of
+  /// the uncovered vertex fraction. Small == fast early coverage.
+  double uncovered_area(std::uint32_t n) const;
+
+ private:
+  std::uint64_t stride_;
+  std::uint64_t next_sample_ = 0;
+  std::vector<CoveragePoint> points_;
+};
+
+}  // namespace ewalk

@@ -1,0 +1,83 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ewalk {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<Vertex> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    for (const Slot& s : g.slots(u)) {
+      if (dist[s.neighbor] == kUnreachable) {
+        dist[s.neighbor] = dist[u] + 1;
+        q.push(s.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+Components connected_components(const Graph& g) {
+  Components c;
+  c.id.assign(g.num_vertices(), kUnreachable);
+  std::queue<Vertex> q;
+  for (Vertex start = 0; start < g.num_vertices(); ++start) {
+    if (c.id[start] != kUnreachable) continue;
+    c.id[start] = c.count;
+    q.push(start);
+    while (!q.empty()) {
+      const Vertex u = q.front();
+      q.pop();
+      for (const Slot& s : g.slots(u)) {
+        if (c.id[s.neighbor] == kUnreachable) {
+          c.id[s.neighbor] = c.count;
+          q.push(s.neighbor);
+        }
+      }
+    }
+    ++c.count;
+  }
+  return c;
+}
+
+std::uint32_t eccentricity(const Graph& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t ecc = eccentricity(g, v);
+    if (ecc == kUnreachable) return kUnreachable;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+std::vector<std::uint32_t> degree_sequence(const Graph& g) {
+  std::vector<std::uint32_t> seq(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) seq[v] = g.degree(v);
+  std::sort(seq.begin(), seq.end(), std::greater<>());
+  return seq;
+}
+
+}  // namespace ewalk

@@ -1,0 +1,38 @@
+// Basic graph algorithms shared by generators, analysis, and tests:
+// BFS distances, connectivity, components, diameter / eccentricity.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Single-source BFS; result[v] == kUnreachable when v is not reachable.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
+
+bool is_connected(const Graph& g);
+
+/// Component id per vertex (0-based, by discovery order) and component count.
+struct Components {
+  std::vector<std::uint32_t> id;  ///< per-vertex component index
+  std::uint32_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// Eccentricity of `source` (max BFS distance); kUnreachable if disconnected.
+std::uint32_t eccentricity(const Graph& g, Vertex source);
+
+/// Exact diameter via all-sources BFS — O(n·m); intended for test-scale
+/// graphs. Returns kUnreachable if disconnected.
+std::uint32_t diameter(const Graph& g);
+
+/// Degree sequence sorted descending.
+std::vector<std::uint32_t> degree_sequence(const Graph& g);
+
+}  // namespace ewalk

@@ -1,0 +1,390 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace ewalk {
+
+namespace {
+
+std::uint64_t edge_key(Vertex u, Vertex v) noexcept {
+  const std::uint64_t a = std::min(u, v);
+  const std::uint64_t b = std::max(u, v);
+  return (a << 32) | b;
+}
+
+}  // namespace
+
+Graph cycle_graph(Vertex n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: n must be >= 3");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return b.build();
+}
+
+Graph path_graph(Vertex n) {
+  if (n == 0) throw std::invalid_argument("path_graph: n must be >= 1");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph complete_graph(Vertex n) {
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return b.build();
+}
+
+Graph complete_bipartite(Vertex a, Vertex b_count) {
+  GraphBuilder b(a + b_count);
+  for (Vertex i = 0; i < a; ++i)
+    for (Vertex j = 0; j < b_count; ++j) b.add_edge(i, a + j);
+  return b.build();
+}
+
+Graph petersen_graph() {
+  GraphBuilder b(10);
+  // Outer 5-cycle, inner 5-cycle with step 2, and spokes.
+  for (Vertex i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);
+    b.add_edge(5 + i, 5 + (i + 2) % 5);
+    b.add_edge(i, 5 + i);
+  }
+  return b.build();
+}
+
+Graph hypercube(std::uint32_t r) {
+  if (r >= 31) throw std::invalid_argument("hypercube: r too large");
+  const Vertex n = Vertex{1} << r;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v)
+    for (std::uint32_t bit = 0; bit < r; ++bit) {
+      const Vertex w = v ^ (Vertex{1} << bit);
+      if (v < w) b.add_edge(v, w);
+    }
+  return b.build();
+}
+
+Graph torus_2d(Vertex w, Vertex h) {
+  if (w < 3 || h < 3) throw std::invalid_argument("torus_2d: dimensions must be >= 3");
+  GraphBuilder b(w * h);
+  const auto id = [w](Vertex x, Vertex y) { return y * w + x; };
+  for (Vertex y = 0; y < h; ++y)
+    for (Vertex x = 0; x < w; ++x) {
+      b.add_edge(id(x, y), id((x + 1) % w, y));
+      b.add_edge(id(x, y), id(x, (y + 1) % h));
+    }
+  return b.build();
+}
+
+Graph grid_2d(Vertex w, Vertex h) {
+  if (w == 0 || h == 0) throw std::invalid_argument("grid_2d: dimensions must be >= 1");
+  GraphBuilder b(w * h);
+  const auto id = [w](Vertex x, Vertex y) { return y * w + x; };
+  for (Vertex y = 0; y < h; ++y)
+    for (Vertex x = 0; x < w; ++x) {
+      if (x + 1 < w) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < h) b.add_edge(id(x, y), id(x, y + 1));
+    }
+  return b.build();
+}
+
+Graph star_graph(Vertex n) {
+  if (n < 2) throw std::invalid_argument("star_graph: n must be >= 2");
+  GraphBuilder b(n);
+  for (Vertex i = 1; i < n; ++i) b.add_edge(0, i);
+  return b.build();
+}
+
+Graph lollipop(Vertex clique_size, Vertex path_len) {
+  if (clique_size < 2) throw std::invalid_argument("lollipop: clique_size must be >= 2");
+  GraphBuilder b(clique_size + path_len);
+  for (Vertex i = 0; i < clique_size; ++i)
+    for (Vertex j = i + 1; j < clique_size; ++j) b.add_edge(i, j);
+  Vertex prev = clique_size - 1;
+  for (Vertex k = 0; k < path_len; ++k) {
+    b.add_edge(prev, clique_size + k);
+    prev = clique_size + k;
+  }
+  return b.build();
+}
+
+Graph barbell(Vertex clique_size, Vertex path_len) {
+  if (clique_size < 2) throw std::invalid_argument("barbell: clique_size must be >= 2");
+  const Vertex n = 2 * clique_size + path_len;
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < clique_size; ++i)
+    for (Vertex j = i + 1; j < clique_size; ++j) {
+      b.add_edge(i, j);
+      b.add_edge(clique_size + path_len + i, clique_size + path_len + j);
+    }
+  Vertex prev = clique_size - 1;
+  for (Vertex k = 0; k < path_len; ++k) {
+    b.add_edge(prev, clique_size + k);
+    prev = clique_size + k;
+  }
+  b.add_edge(prev, clique_size + path_len);  // attach to second clique's vertex 0
+  return b.build();
+}
+
+Graph circulant(Vertex n, const std::vector<std::uint32_t>& offsets) {
+  GraphBuilder b(n);
+  for (const std::uint32_t o : offsets) {
+    if (o == 0 || o >= n) throw std::invalid_argument("circulant: offset out of range");
+    if (2 * o == n) throw std::invalid_argument("circulant: offset n/2 gives odd degree");
+    for (Vertex i = 0; i < n; ++i) b.add_edge(i, (i + o) % n);
+  }
+  return b.build();
+}
+
+Graph binary_tree(std::uint32_t levels) {
+  if (levels == 0 || levels >= 31) throw std::invalid_argument("binary_tree: bad levels");
+  const Vertex n = (Vertex{1} << levels) - 1;
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / 2);
+  return b.build();
+}
+
+Graph margulis_expander(Vertex k) {
+  if (k < 2) throw std::invalid_argument("margulis_expander: k must be >= 2");
+  const Vertex n = k * k;
+  GraphBuilder b(n);
+  const auto id = [k](Vertex x, Vertex y) { return y * k + x; };
+  for (Vertex y = 0; y < k; ++y) {
+    for (Vertex x = 0; x < k; ++x) {
+      const Vertex v = id(x, y);
+      // The four forward maps; their inverses supply the other four slots.
+      b.add_edge(v, id((x + y) % k, y));            // S1
+      b.add_edge(v, id(x, (y + x) % k));            // S3
+      b.add_edge(v, id((x + y + 1) % k, y));        // S5
+      b.add_edge(v, id(x, (y + x + 1) % k));        // S7
+    }
+  }
+  return b.build();
+}
+
+// ---- Steger–Wormald random regular graphs --------------------------------
+
+namespace {
+
+// One attempt of the Steger–Wormald stub-matching pass (the NetworkX
+// `_try_creation` logic). Returns edges on success, nullopt when the attempt
+// wedged (some stubs can no longer be placed) and must be restarted.
+std::optional<std::vector<Endpoints>> steger_wormald_attempt(Vertex n, std::uint32_t r,
+                                                             Rng& rng) {
+  std::vector<Endpoints> edges;
+  edges.reserve(static_cast<std::size_t>(n) * r / 2);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.capacity() * 2);
+
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * r);
+  for (Vertex v = 0; v < n; ++v)
+    for (std::uint32_t i = 0; i < r; ++i) stubs.push_back(v);
+
+  std::vector<std::uint32_t> remaining(n, 0);
+  while (!stubs.empty()) {
+    rng.shuffle(std::span<Vertex>(stubs));
+    std::fill(remaining.begin(), remaining.end(), 0);
+    bool any_leftover = false;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      Vertex s1 = stubs[i], s2 = stubs[i + 1];
+      if (s1 == s2 || seen.count(edge_key(s1, s2))) {
+        ++remaining[s1];
+        ++remaining[s2];
+        any_leftover = true;
+      } else {
+        seen.insert(edge_key(s1, s2));
+        edges.push_back(Endpoints{s1, s2});
+      }
+    }
+    if (!any_leftover) break;
+
+    // Suitability check: can any two leftover stubs still be joined?
+    std::vector<Vertex> leftover_nodes;
+    for (Vertex v = 0; v < n; ++v)
+      if (remaining[v] > 0) leftover_nodes.push_back(v);
+    bool suitable = false;
+    for (std::size_t a = 0; a < leftover_nodes.size() && !suitable; ++a)
+      for (std::size_t b = a + 1; b < leftover_nodes.size() && !suitable; ++b)
+        if (!seen.count(edge_key(leftover_nodes[a], leftover_nodes[b]))) suitable = true;
+    if (!suitable) return std::nullopt;
+
+    stubs.clear();
+    for (Vertex v = 0; v < n; ++v)
+      for (std::uint32_t i = 0; i < remaining[v]; ++i) stubs.push_back(v);
+  }
+  return edges;
+}
+
+}  // namespace
+
+Graph random_regular(Vertex n, std::uint32_t r, Rng& rng) {
+  if (r >= n) throw std::invalid_argument("random_regular: need r < n");
+  if ((static_cast<std::uint64_t>(n) * r) % 2 != 0)
+    throw std::invalid_argument("random_regular: n*r must be even");
+  if (r == 0) return Graph::from_edges(n, {});
+  for (;;) {
+    auto edges = steger_wormald_attempt(n, r, rng);
+    if (edges) return Graph::from_edges(n, *edges);
+  }
+}
+
+Graph random_regular_connected(Vertex n, std::uint32_t r, Rng& rng) {
+  for (;;) {
+    Graph g = random_regular(n, r, rng);
+    if (is_connected(g)) return g;
+  }
+}
+
+Graph configuration_model(const std::vector<std::uint32_t>& degrees, Rng& rng,
+                          bool simple) {
+  std::uint64_t total = 0;
+  for (auto d : degrees) total += d;
+  if (total % 2 != 0)
+    throw std::invalid_argument("configuration_model: degree sum must be even");
+
+  const Vertex n = static_cast<Vertex>(degrees.size());
+  std::vector<Vertex> stubs;
+  stubs.reserve(total);
+
+  for (;;) {
+    stubs.clear();
+    for (Vertex v = 0; v < n; ++v)
+      for (std::uint32_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+    rng.shuffle(std::span<Vertex>(stubs));
+
+    std::vector<Endpoints> edges;
+    edges.reserve(total / 2);
+    bool ok = true;
+    std::unordered_set<std::uint64_t> seen;
+    if (simple) seen.reserve(total);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const Vertex u = stubs[i], v = stubs[i + 1];
+      if (simple) {
+        if (u == v || seen.count(edge_key(u, v))) {
+          ok = false;
+          break;
+        }
+        seen.insert(edge_key(u, v));
+      }
+      edges.push_back(Endpoints{u, v});
+    }
+    if (ok) return Graph::from_edges(n, edges);
+  }
+}
+
+Graph hamiltonian_cycle_union(Vertex n, std::uint32_t k, Rng& rng, bool simple) {
+  if (n < 3) throw std::invalid_argument("hamiltonian_cycle_union: n must be >= 3");
+  if (k == 0) throw std::invalid_argument("hamiltonian_cycle_union: k must be >= 1");
+  std::vector<Vertex> perm(n);
+  for (;;) {
+    std::vector<Endpoints> edges;
+    edges.reserve(static_cast<std::size_t>(n) * k);
+    std::unordered_set<std::uint64_t> seen;
+    if (simple) seen.reserve(edges.capacity() * 2);
+    bool ok = true;
+    for (std::uint32_t c = 0; c < k && ok; ++c) {
+      for (Vertex i = 0; i < n; ++i) perm[i] = i;
+      rng.shuffle(std::span<Vertex>(perm));
+      for (Vertex i = 0; i < n; ++i) {
+        const Vertex u = perm[i], v = perm[(i + 1) % n];
+        if (simple) {
+          if (seen.count(edge_key(u, v))) {
+            ok = false;
+            break;
+          }
+          seen.insert(edge_key(u, v));
+        }
+        edges.push_back(Endpoints{u, v});
+      }
+    }
+    if (ok) return Graph::from_edges(n, edges);
+  }
+}
+
+Graph erdos_renyi(Vertex n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: p out of range");
+  GraphBuilder b(n);
+  if (p <= 0.0) return b.build();
+  if (p >= 1.0) return complete_graph(n);
+  // Geometric skipping over the (n choose 2) pair sequence: O(n + m).
+  const double log1mp = std::log1p(-p);
+  std::uint64_t total_pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t idx = 0;
+  const auto pair_of = [n](std::uint64_t t) {
+    // Invert t = u*n - u*(u+1)/2 + (v-u-1) lexicographic pair index.
+    Vertex u = 0;
+    std::uint64_t row = n - 1;
+    while (t >= row) {
+      t -= row;
+      --row;
+      ++u;
+    }
+    const Vertex v = static_cast<Vertex>(u + 1 + t);
+    return Endpoints{u, v};
+  };
+  for (;;) {
+    const double gap = std::floor(std::log1p(-rng.uniform_real()) / log1mp);
+    idx += static_cast<std::uint64_t>(gap);
+    if (idx >= total_pairs) break;
+    const auto [u, v] = pair_of(idx);
+    b.add_edge(u, v);
+    ++idx;
+  }
+  return b.build();
+}
+
+Graph random_geometric(Vertex n, double radius, Rng& rng) {
+  if (radius <= 0.0) throw std::invalid_argument("random_geometric: radius must be > 0");
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform_real();
+    p.y = rng.uniform_real();
+  }
+  // Bucket grid of cell size radius: only neighbouring cells need checking.
+  const std::uint32_t cells = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::floor(1.0 / radius)));
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Vertex>> grid;
+  const auto cell_of = [&](const Point& p) {
+    const auto cx = std::min<std::uint32_t>(cells - 1, static_cast<std::uint32_t>(p.x * cells));
+    const auto cy = std::min<std::uint32_t>(cells - 1, static_cast<std::uint32_t>(p.y * cells));
+    return std::make_pair(cx, cy);
+  };
+  for (Vertex v = 0; v < n; ++v) grid[cell_of(pts[v])].push_back(v);
+
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto [cx, cy] = cell_of(pts[v]);
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        const auto it = grid.find({static_cast<std::uint32_t>(nx), static_cast<std::uint32_t>(ny)});
+        if (it == grid.end()) continue;
+        for (const Vertex w : it->second) {
+          if (w <= v) continue;
+          const double ddx = pts[v].x - pts[w].x;
+          const double ddy = pts[v].y - pts[w].y;
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(v, w);
+        }
+      }
+  }
+  return b.build();
+}
+
+}  // namespace ewalk

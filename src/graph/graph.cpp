@@ -1,0 +1,65 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ewalk {
+
+Graph Graph::from_edges(Vertex n, std::span<const Endpoints> edges) {
+  Graph g;
+  g.n_ = n;
+  g.edges_.assign(edges.begin(), edges.end());
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  for (const auto& [u, v] : g.edges_) {
+    if (u >= n || v >= n) throw std::invalid_argument("Graph::from_edges: endpoint out of range");
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+    if (u == v) ++g.self_loops_;
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.slots_.resize(2 * g.edges_.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const auto [u, v] = g.edges_[e];
+    g.slots_[cursor[u]++] = Slot{v, e};
+    g.slots_[cursor[v]++] = Slot{u, e};
+  }
+
+  if (n > 0) {
+    g.min_degree_ = g.degree(0);
+    g.max_degree_ = g.degree(0);
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t d = g.degree(v);
+      g.min_degree_ = std::min(g.min_degree_, d);
+      g.max_degree_ = std::max(g.max_degree_, d);
+      if (d % 2 != 0) g.all_even_ = false;
+    }
+  }
+
+  // Parallel-edge census: count duplicate (min,max) endpoint pairs.
+  {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(g.edges_.size());
+    for (const auto& [u, v] : g.edges_) {
+      const std::uint64_t a = std::min(u, v);
+      const std::uint64_t b = std::max(u, v);
+      keys.push_back((a << 32) | b);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      if (keys[i] == keys[i - 1]) ++g.parallel_edges_;
+    }
+  }
+  return g;
+}
+
+EdgeId GraphBuilder::add_edge(Vertex u, Vertex v) {
+  if (u >= n_ || v >= n_) throw std::invalid_argument("GraphBuilder::add_edge: endpoint out of range");
+  edges_.push_back(Endpoints{u, v});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+}  // namespace ewalk

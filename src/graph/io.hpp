@@ -1,0 +1,23 @@
+// Graph serialisation: whitespace edge lists (one "u v" pair per line) and
+// Graphviz DOT output for small-graph debugging.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Writes "n m" header then one "u v" line per edge.
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Parses the format produced by write_edge_list.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+/// Graphviz (undirected) output.
+void write_dot(const Graph& g, std::ostream& out, const std::string& name = "G");
+
+}  // namespace ewalk

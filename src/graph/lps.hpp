@@ -1,0 +1,53 @@
+// Lubotzky–Phillips–Sarnak Ramanujan graphs X^{p,q} (reference [11] of the
+// paper). These are the canonical *high girth even degree expanders* of the
+// paper's title when p + 1 is even (p odd prime): (p+1)-regular Cayley
+// graphs of PSL(2, Z_q) or PGL(2, Z_q) with second adjacency eigenvalue
+// <= 2*sqrt(p) and girth Omega(log_p n).
+//
+// Construction: for primes p, q == 1 (mod 4), p != q, take the p+1 integer
+// quaternion solutions of a0^2 + a1^2 + a2^2 + a3^2 = p with a0 > 0 odd and
+// a1, a2, a3 even. With i = sqrt(-1) mod q each solution yields the matrix
+//   [ a0 + i*a1   a2 + i*a3 ]
+//   [-a2 + i*a3   a0 - i*a1 ]   (mod q)
+// over PGL(2, q). The generator set is symmetric, so the Cayley graph is an
+// undirected (p+1)-regular graph. If p is a quadratic residue mod q the
+// graph is the Cayley graph of PSL(2,q) with n = q(q^2-1)/2 (non-bipartite);
+// otherwise PGL(2,q) with n = q(q^2-1) (bipartite). We realise the correct
+// component by BFS from the identity over canonicalised projective matrices.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+struct LpsParams {
+  std::uint32_t p;  ///< odd prime == 1 (mod 4); graph degree is p+1 (even)
+  std::uint32_t q;  ///< odd prime == 1 (mod 4), q != p, q > 2*sqrt(p)
+};
+
+/// Number of vertices lps_graph(params) will produce.
+std::uint64_t lps_expected_order(const LpsParams& params);
+
+/// True iff p is a quadratic residue mod q (=> PSL case, non-bipartite).
+bool lps_is_psl_case(const LpsParams& params);
+
+/// Builds X^{p,q}. Throws std::invalid_argument on invalid parameters.
+Graph lps_graph(const LpsParams& params);
+
+// ---- Number theory helpers (exposed for tests) ---------------------------
+
+/// True iff n is prime (deterministic trial division; n fits the use case).
+bool is_prime_u32(std::uint32_t n);
+
+/// (a|p) Legendre symbol via Euler's criterion; p an odd prime, a % p != 0.
+int legendre_symbol(std::uint64_t a, std::uint64_t p);
+
+/// Tonelli–Shanks: an x with x^2 == a (mod p), for odd prime p and (a|p)=1.
+std::uint64_t sqrt_mod_prime(std::uint64_t a, std::uint64_t p);
+
+/// Modular exponentiation base^exp mod modulus (modulus < 2^32).
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t modulus);
+
+}  // namespace ewalk

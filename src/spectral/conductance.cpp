@@ -1,0 +1,47 @@
+#include "spectral/conductance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace ewalk {
+
+double cut_conductance(const Graph& g, const std::vector<bool>& in_x) {
+  if (in_x.size() != g.num_vertices())
+    throw std::invalid_argument("cut_conductance: flag vector size mismatch");
+  std::uint64_t d_x = 0, d_all = 0, crossing = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    d_all += g.degree(v);
+    if (in_x[v]) d_x += g.degree(v);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (in_x[u] != in_x[v]) ++crossing;
+  }
+  const std::uint64_t d_small = std::min(d_x, d_all - d_x);
+  if (d_small == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(crossing) / static_cast<double>(d_small);
+}
+
+double exact_conductance(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (n > 24) throw std::invalid_argument("exact_conductance: n too large (max 24)");
+  if (n < 2) throw std::invalid_argument("exact_conductance: need at least 2 vertices");
+
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<bool> in_x(n, false);
+  // Fix vertex 0 out of X to halve the enumeration (Φ is complement-symmetric).
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    for (Vertex v = 1; v < n; ++v) in_x[v] = (mask >> (v - 1)) & 1;
+    best = std::min(best, cut_conductance(g, in_x));
+  }
+  return best;
+}
+
+ConductanceBounds conductance_bounds_from_lambda2(double lambda2) {
+  return ConductanceBounds{(1.0 - lambda2) / 2.0, std::sqrt(std::max(0.0, 2.0 * (1.0 - lambda2)))};
+}
+
+}  // namespace ewalk

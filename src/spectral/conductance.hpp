@@ -1,0 +1,27 @@
+// Conductance Φ(G) (Section 3.3, eq. 19 of the paper):
+//   Φ(G) = min over X with d(X) <= m of  e(X : X̄) / d(X),
+// and the Cheeger-type relation  1 - 2Φ <= λ2 <= 1 - Φ²/2.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Exact conductance by subset enumeration — O(2^n · m); only for n <= 24.
+double exact_conductance(const Graph& g);
+
+/// Bounds on Φ implied by λ2 via eq. (19): Φ >= (1 - λ2)/2 and
+/// Φ <= sqrt(2 (1 - λ2)).
+struct ConductanceBounds {
+  double lower;
+  double upper;
+};
+ConductanceBounds conductance_bounds_from_lambda2(double lambda2);
+
+/// Conductance of one cut X (vertices flagged true). d(X) need not be <= m;
+/// the complement is used when it is larger.
+double cut_conductance(const Graph& g, const std::vector<bool>& in_x);
+
+}  // namespace ewalk

@@ -1,0 +1,179 @@
+#include "spectral/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ewalk {
+
+namespace {
+
+/// y = S x where S = D^{-1/2} A D^{-1/2}, via the slot arrays.
+void symmetric_matvec(const Graph& g, const std::vector<double>& inv_sqrt_deg,
+                      const std::vector<double>& x, std::vector<double>& y) {
+  const Vertex n = g.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    double acc = 0.0;
+    for (const Slot& s : g.slots(v)) acc += x[s.neighbor] * inv_sqrt_deg[s.neighbor];
+    y[v] = acc * inv_sqrt_deg[v];
+  }
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void normalize(std::vector<double>& x) {
+  const double norm = std::sqrt(dot(x, x));
+  if (norm > 0.0)
+    for (double& v : x) v /= norm;
+}
+
+/// Power iteration for the top eigenvalue of the operator
+/// x -> shift*x + sign*S*x, restricted to the complement of span(v1) when
+/// deflate is true. Returns the Rayleigh quotient of S itself.
+double power_iterate(const Graph& g, const std::vector<double>& inv_sqrt_deg,
+                     const std::vector<double>& v1, bool deflate, double shift,
+                     double sign, const SpectrumOptions& options,
+                     std::uint32_t& iterations_used) {
+  const Vertex n = g.num_vertices();
+  Rng rng(0x5EC7Au);
+  std::vector<double> x(n), sx(n);
+  for (double& v : x) v = rng.uniform_real() - 0.5;
+  if (deflate) {
+    const double proj = dot(x, v1);
+    for (Vertex v = 0; v < n; ++v) x[v] -= proj * v1[v];
+  }
+  normalize(x);
+
+  double prev_rq = 2.0;
+  for (std::uint32_t it = 0; it < options.max_iterations; ++it) {
+    symmetric_matvec(g, inv_sqrt_deg, x, sx);
+    const double rq = dot(x, sx);  // Rayleigh quotient of S at x
+    // Apply the shifted operator.
+    for (Vertex v = 0; v < n; ++v) sx[v] = shift * x[v] + sign * sx[v];
+    if (deflate) {
+      const double proj = dot(sx, v1);
+      for (Vertex v = 0; v < n; ++v) sx[v] -= proj * v1[v];
+    }
+    normalize(sx);
+    x.swap(sx);
+    if (std::abs(rq - prev_rq) < options.tolerance) {
+      iterations_used = it + 1;
+      return rq;
+    }
+    prev_rq = rq;
+  }
+  iterations_used = options.max_iterations;
+  return prev_rq;
+}
+
+}  // namespace
+
+WalkSpectrum estimate_spectrum(const Graph& g, const SpectrumOptions& options) {
+  const Vertex n = g.num_vertices();
+  if (n == 0 || g.num_edges() == 0)
+    throw std::invalid_argument("estimate_spectrum: graph must have edges");
+
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  std::vector<double> v1(n, 0.0);
+  double norm = 0.0;
+  for (Vertex v = 0; v < n; ++v) {
+    const double d = g.degree(v);
+    if (d > 0) {
+      inv_sqrt_deg[v] = 1.0 / std::sqrt(d);
+      v1[v] = std::sqrt(d);
+      norm += d;
+    }
+  }
+  norm = std::sqrt(norm);
+  for (double& x : v1) x /= norm;
+
+  WalkSpectrum spec;
+  std::uint32_t it2 = 0, itn = 0;
+  // λ2: top eigenvalue of (S + I)/2 on the deflated space is (λ2+1)/2 >= 0,
+  // so the iteration cannot be hijacked by a large |λn|.
+  const double rq2 =
+      power_iterate(g, inv_sqrt_deg, v1, /*deflate=*/true, 0.5, 0.5, options, it2);
+  spec.lambda2 = rq2;
+  // λn: top eigenvalue of (I - S)/2 is (1-λn)/2; deflation unnecessary since
+  // the λ1 component has eigenvalue 0 under this operator.
+  const double rqn =
+      power_iterate(g, inv_sqrt_deg, v1, /*deflate=*/false, 0.5, -0.5, options, itn);
+  spec.lambda_n = rqn;
+  spec.lambda_max = std::max(spec.lambda2, std::abs(spec.lambda_n));
+  spec.iterations = std::max(it2, itn);
+  return spec;
+}
+
+std::vector<double> dense_spectrum(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (n > 4096) throw std::invalid_argument("dense_spectrum: graph too large for dense solve");
+
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (Vertex v = 0; v < n; ++v)
+    if (g.degree(v) > 0) inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(g.degree(v)));
+
+  std::vector<double> s(n * n, 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (u == v) {
+      s[u * n + u] += 2.0 * inv_sqrt_deg[u] * inv_sqrt_deg[u];
+    } else {
+      const double w = inv_sqrt_deg[u] * inv_sqrt_deg[v];
+      s[u * n + v] += w;
+      s[v * n + u] += w;
+    }
+  }
+  return jacobi_eigenvalues(std::move(s), n);
+}
+
+double mixing_time_estimate(double gap, std::uint64_t n, double K) {
+  if (gap <= 0.0) throw std::invalid_argument("mixing_time_estimate: gap must be positive");
+  return K * std::log(static_cast<double>(n)) / gap;
+}
+
+std::vector<double> jacobi_eigenvalues(std::vector<double> a, std::size_t n) {
+  if (a.size() != n * n) throw std::invalid_argument("jacobi_eigenvalues: bad dimensions");
+  const auto at = [&](std::size_t i, std::size_t j) -> double& { return a[i * n + j]; };
+
+  for (std::uint32_t sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += at(i, j) * at(i, j);
+    if (off < 1e-20) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = at(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double theta = (at(q, q) - at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = at(k, p), akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = at(p, k), aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = at(i, i);
+  std::sort(eig.begin(), eig.end(), std::greater<>());
+  return eig;
+}
+
+}  // namespace ewalk

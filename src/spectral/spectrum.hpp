@@ -1,0 +1,55 @@
+// Spectral analysis of the simple-random-walk transition matrix P = D^{-1}A.
+//
+// The paper's bounds are stated in terms of the eigenvalue gap 1 - λmax,
+// λmax = max(λ2, |λn|) (Section 2.1). P is similar to the symmetric
+// S = D^{-1/2} A D^{-1/2}, whose top eigenvector is known exactly
+// (v1 ∝ sqrt(d)); we therefore compute λ2 by deflated power iteration on a
+// shifted S, and λn by power iteration on I - S. A dense Jacobi eigensolver
+// is provided for exact small-graph spectra in tests.
+//
+// Multigraph conventions match the paper: a parallel edge contributes its
+// multiplicity to A, and a self-loop at v contributes 2 to A_vv (it occupies
+// two adjacency slots), i.e. P(v,v) = 2/d(v) per loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Spectrum summary of the SRW transition matrix.
+struct WalkSpectrum {
+  double lambda2 = 0.0;      ///< second-largest eigenvalue of P
+  double lambda_n = 0.0;     ///< smallest eigenvalue of P
+  double lambda_max = 0.0;   ///< max(lambda2, |lambda_n|)
+  std::uint32_t iterations = 0;  ///< power iterations actually used
+
+  /// Eigenvalue gap 1 - λmax used throughout the paper's bounds.
+  double gap() const noexcept { return 1.0 - lambda_max; }
+  /// Gap of the lazy walk P' = (I+P)/2, whose λ'max = (1+λ2)/2.
+  double lazy_gap() const noexcept { return (1.0 - lambda2) / 2.0; }
+};
+
+struct SpectrumOptions {
+  std::uint32_t max_iterations = 20000;
+  double tolerance = 1e-10;  ///< stop when Rayleigh quotient stabilises
+};
+
+/// Iterative spectrum estimate; works at any n the walk benches use.
+/// Precondition: g is connected with at least one edge.
+WalkSpectrum estimate_spectrum(const Graph& g, const SpectrumOptions& options = {});
+
+/// All eigenvalues of P, descending, via dense Jacobi on S — exact up to
+/// numerical 1e-9, intended for n <= ~2048 (tests and tiny benches).
+std::vector<double> dense_spectrum(const Graph& g);
+
+/// Mixing time from Lemma 7 of the paper: T = K log n / (1 - λmax), K >= 6.
+double mixing_time_estimate(double gap, std::uint64_t n, double K = 6.0);
+
+/// Cyclic Jacobi eigensolver for a dense symmetric matrix (row-major n x n).
+/// Returns eigenvalues in descending order.
+std::vector<double> jacobi_eigenvalues(std::vector<double> matrix, std::size_t n);
+
+}  // namespace ewalk

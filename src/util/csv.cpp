@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <stdexcept>
+
+namespace ewalk {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), width_(header.size()), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  if (values.size() != width_) throw std::runtime_error("CsvWriter: row width mismatch");
+  bool first = true;
+  out_ << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (double v : values) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << v;
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != width_) throw std::runtime_error("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace ewalk

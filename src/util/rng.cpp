@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+namespace ewalk {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t MersenneRng::uniform(std::uint64_t bound) {
+  std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+std::vector<Rng> derive_streams(std::uint64_t master_seed, std::size_t count) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  std::uint64_t sm = master_seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    streams.emplace_back(splitmix64(sm));
+  }
+  return streams;
+}
+
+}  // namespace ewalk

@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ewalk {
+
+SummaryStats summarize(std::span<const double> samples) {
+  SummaryStats s;
+  s.count = samples.size();
+  if (s.count == 0) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double x : sorted) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(s.count - 1);
+    s.stddev = std::sqrt(s.variance);
+    s.std_error = s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+  return s;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+LinearFit fit_c_nlogn(std::span<const double> ns, std::span<const double> cover_times) {
+  assert(ns.size() == cover_times.size());
+  std::vector<double> xs(ns.size());
+  std::vector<double> ys(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    xs[i] = std::log(ns[i]);
+    ys[i] = cover_times[i] / ns[i];
+  }
+  return linear_fit(xs, ys);
+}
+
+}  // namespace ewalk

@@ -1,0 +1,75 @@
+// Summary statistics and curve fitting for cover-time experiments.
+//
+// The paper's Figure 1 plots *normalised* cover time C_V/n against n and
+// overlays c·ln n reference curves (c chosen by inspection). `fit_c_nlogn`
+// recovers that constant by least squares instead of inspection.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ewalk {
+
+/// Aggregate statistics of a sample. Built once from the full sample so that
+/// exact medians/quantiles are available (samples here are small: trials).
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance; 0 when count < 2
+  double stddev = 0.0;
+  double std_error = 0.0;  ///< stddev / sqrt(count)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const noexcept { return 1.96 * std_error; }
+};
+
+/// Computes SummaryStats of `samples`. Empty input yields a zeroed struct.
+SummaryStats summarize(std::span<const double> samples);
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits `ys ~ slope*xs + intercept`. Requires xs.size() == ys.size() >= 2.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Given points (n_i, cover_time_i), fits cover/n = c*ln(n) + b and returns
+/// the fit (slope = c). This is the constant the paper reports as e.g.
+/// "[0.93 n ln(n)]" for 3-regular graphs.
+LinearFit fit_c_nlogn(std::span<const double> ns, std::span<const double> cover_times);
+
+/// Streaming mean/variance accumulator (Welford) for large step-level series.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ewalk

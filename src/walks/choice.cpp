@@ -1,0 +1,47 @@
+#include "walks/choice.hpp"
+
+#include <stdexcept>
+
+namespace ewalk {
+
+RandomWalkWithChoice::RandomWalkWithChoice(const Graph& g, Vertex start, std::uint32_t d)
+    : g_(&g), d_(d), current_(start), cover_(g.num_vertices(), g.num_edges()) {
+  if (start >= g.num_vertices())
+    throw std::invalid_argument("RandomWalkWithChoice: start vertex out of range");
+  if (d == 0) throw std::invalid_argument("RandomWalkWithChoice: d must be >= 1");
+  cover_.visit_vertex(start, 0);
+}
+
+void RandomWalkWithChoice::step(Rng& rng) {
+  ++steps_;
+  const std::uint32_t deg = g_->degree(current_);
+  if (deg == 0) throw std::logic_error("RandomWalkWithChoice: stuck at isolated vertex");
+
+  // Sample d slots with replacement; keep the least-visited neighbour,
+  // breaking ties uniformly via reservoir counting.
+  Slot best = g_->slot(current_, static_cast<std::uint32_t>(rng.uniform(deg)));
+  std::uint32_t best_visits = cover_.visit_count(best.neighbor);
+  std::uint32_t ties = 1;
+  for (std::uint32_t i = 1; i < d_; ++i) {
+    const Slot s = g_->slot(current_, static_cast<std::uint32_t>(rng.uniform(deg)));
+    const std::uint32_t c = cover_.visit_count(s.neighbor);
+    if (c < best_visits) {
+      best = s;
+      best_visits = c;
+      ties = 1;
+    } else if (c == best_visits) {
+      ++ties;
+      if (rng.uniform(ties) == 0) best = s;
+    }
+  }
+  cover_.visit_edge(best.edge, steps_);
+  current_ = best.neighbor;
+  cover_.visit_vertex(current_, steps_);
+}
+
+bool RandomWalkWithChoice::run_until_vertex_cover(Rng& rng, std::uint64_t max_steps) {
+  while (!cover_.all_vertices_covered() && steps_ < max_steps) step(rng);
+  return cover_.all_vertices_covered();
+}
+
+}  // namespace ewalk

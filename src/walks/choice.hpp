@@ -1,0 +1,35 @@
+// Random Walk with Choice, RWC(d) — Avin & Krishnamachari's process
+// (cited in Section 1): at each step sample d incident slots uniformly at
+// random and move to the sampled neighbour with the fewest visits so far
+// (ties broken uniformly among the tied samples).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+class RandomWalkWithChoice {
+ public:
+  /// `d` >= 1 samples per step; d == 1 degenerates to the SRW.
+  RandomWalkWithChoice(const Graph& g, Vertex start, std::uint32_t d);
+
+  void step(Rng& rng);
+  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
+
+  Vertex current() const { return current_; }
+  std::uint64_t steps() const { return steps_; }
+  const CoverState& cover() const { return cover_; }
+
+ private:
+  const Graph* g_;
+  std::uint32_t d_;
+  Vertex current_;
+  std::uint64_t steps_ = 0;
+  CoverState cover_;
+};
+
+}  // namespace ewalk

@@ -1,0 +1,16 @@
+#include "walks/cover_state.hpp"
+
+#include <algorithm>
+
+namespace ewalk {
+
+CoverState::CoverState(Vertex n, EdgeId m)
+    : n_(n), m_(m), vertex_visited_(n, 0), edge_visited_(m, 0),
+      visit_count_(n, 0), first_vertex_visit_(n, kNotCovered) {}
+
+std::uint32_t CoverState::min_visit_count() const {
+  if (visit_count_.empty()) return 0;
+  return *std::min_element(visit_count_.begin(), visit_count_.end());
+}
+
+}  // namespace ewalk

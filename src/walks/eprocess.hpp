@@ -1,0 +1,134 @@
+// The E-process (edge-process): the paper's primary contribution.
+//
+// At each step, if the current vertex has unvisited ("blue") incident edges,
+// the walk crosses one of them — chosen by an arbitrary rule A — and marks
+// it visited ("red"); otherwise it takes a simple-random-walk step along a
+// uniformly random incident edge. The choice rule A may be randomised,
+// deterministic, or adversarial (it sees the full walk state); Theorem 1's
+// cover-time bound is independent of A.
+//
+// Implementation notes:
+//  * Per-vertex incident slots are kept partitioned blue-prefix/red-suffix
+//    with an O(1) swap on every edge visit, so a blue step is O(Δ) (to
+//    materialise the candidate span for the rule) and a red step is O(1).
+//  * The walk distinguishes blue and red transitions, exposing t_R and t_B
+//    (Observation 12: t = t_R + t_B with t_B <= m), and can record maximal
+//    blue/red phases for invariant checking (Observation 10: on even-degree
+//    graphs a blue phase ends at the vertex where it started).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+/// Read-only view of walk state offered to choice rules (adversaries may
+/// inspect anything; they cannot mutate). Constructed by the walk each blue
+/// step; also usable by other unvisited-edge processes (MultiEProcess).
+class EProcessView {
+ public:
+  EProcessView(const Graph& graph, const CoverState& cover, std::uint64_t steps)
+      : graph_(&graph), cover_(&cover), steps_(steps) {}
+  const Graph& graph() const { return *graph_; }
+  const CoverState& cover() const { return *cover_; }
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  const Graph* graph_;
+  const CoverState* cover_;
+  std::uint64_t steps_;
+};
+
+/// Rule A: chooses among the blue (unvisited) edges at the current vertex.
+/// `candidates` are the blue slots of `at` (size >= 1); return an index into
+/// it. Rules may use the rng (uniform rule), internal state (round-robin),
+/// or the full walk state (adversary).
+class UnvisitedEdgeRule {
+ public:
+  virtual ~UnvisitedEdgeRule() = default;
+  virtual std::uint32_t choose(const EProcessView& view, Vertex at,
+                               std::span<const Slot> candidates, Rng& rng) = 0;
+  /// Human-readable rule name for bench output.
+  virtual const char* name() const = 0;
+};
+
+/// Transition colour of a step.
+enum class StepColor : std::uint8_t { kBlue, kRed };
+
+/// One maximal single-colour phase (for invariant checks / instrumentation).
+struct Phase {
+  StepColor color;
+  std::uint64_t first_step;   ///< step index of the phase's first transition
+  std::uint64_t last_step;    ///< step index of the phase's last transition
+  Vertex start_vertex;        ///< vertex occupied before the first transition
+  Vertex end_vertex;          ///< vertex occupied after the last transition
+};
+
+struct EProcessOptions {
+  bool record_phases = false;  ///< keep the full Phase log (O(#phases) memory)
+};
+
+class EProcess {
+ public:
+  /// The rule is borrowed and must outlive the process.
+  EProcess(const Graph& g, Vertex start, UnvisitedEdgeRule& rule,
+           EProcessOptions options = {});
+
+  /// Performs one transition. Returns its colour.
+  StepColor step(Rng& rng);
+
+  /// Runs until all vertices are visited or max_steps transitions were made.
+  /// Returns true on cover.
+  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
+
+  /// Runs until all edges are visited or max_steps transitions were made.
+  bool run_until_edge_cover(Rng& rng, std::uint64_t max_steps);
+
+  Vertex current() const { return current_; }
+  Vertex start_vertex() const { return start_; }
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t red_steps() const { return red_steps_; }
+  std::uint64_t blue_steps() const { return blue_steps_; }
+
+  const Graph& graph() const { return *g_; }
+  const CoverState& cover() const { return cover_; }
+
+  /// Number of blue (unvisited) edges incident with v right now.
+  std::uint32_t blue_degree(Vertex v) const { return blue_count_[v]; }
+
+  /// Phase log (empty unless options.record_phases). The currently open
+  /// phase is included with its running end.
+  const std::vector<Phase>& phases() const { return phases_; }
+
+ private:
+  void mark_edge_visited(EdgeId e);
+  void note_transition(StepColor color, Vertex from, Vertex to);
+
+  const Graph* g_;
+  UnvisitedEdgeRule* rule_;
+  EProcessOptions options_;
+  Vertex start_;
+  Vertex current_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t red_steps_ = 0;
+  std::uint64_t blue_steps_ = 0;
+  CoverState cover_;
+
+  // Blue-prefix partition: order_[slot_offset(v) + p] is the local slot
+  // index (0..deg-1) occupying position p of v's region. Positions
+  // < blue_count_[v] are blue; marking an edge visited swaps its slot out
+  // of the prefix at both endpoints.
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> blue_count_;
+
+  std::vector<Slot> scratch_candidates_;  // blue slots handed to the rule
+  std::vector<Phase> phases_;
+};
+
+}  // namespace ewalk

@@ -1,0 +1,47 @@
+#include "walks/locally_fair.hpp"
+
+#include <stdexcept>
+
+namespace ewalk {
+
+LocallyFairWalk::LocallyFairWalk(const Graph& g, Vertex start, FairnessCriterion criterion)
+    : g_(&g), criterion_(criterion), current_(start),
+      cover_(g.num_vertices(), g.num_edges()),
+      traversals_(g.num_edges(), 0), last_used_(g.num_edges(), 0) {
+  if (start >= g.num_vertices())
+    throw std::invalid_argument("LocallyFairWalk: start vertex out of range");
+  cover_.visit_vertex(start, 0);
+}
+
+void LocallyFairWalk::step() {
+  ++steps_;
+  const auto slots = g_->slots(current_);
+  if (slots.empty()) throw std::logic_error("LocallyFairWalk: stuck at isolated vertex");
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    if (criterion_ == FairnessCriterion::kLeastUsedFirst) {
+      if (traversals_[slots[i].edge] < traversals_[slots[best].edge]) best = i;
+    } else {
+      if (last_used_[slots[i].edge] < last_used_[slots[best].edge]) best = i;
+    }
+  }
+  const Slot chosen = slots[best];
+  ++traversals_[chosen.edge];
+  last_used_[chosen.edge] = steps_;
+  cover_.visit_edge(chosen.edge, steps_);
+  current_ = chosen.neighbor;
+  cover_.visit_vertex(current_, steps_);
+}
+
+bool LocallyFairWalk::run_until_vertex_cover(std::uint64_t max_steps) {
+  while (!cover_.all_vertices_covered() && steps_ < max_steps) step();
+  return cover_.all_vertices_covered();
+}
+
+bool LocallyFairWalk::run_until_edge_cover(std::uint64_t max_steps) {
+  while (!cover_.all_edges_covered() && steps_ < max_steps) step();
+  return cover_.all_edges_covered();
+}
+
+}  // namespace ewalk

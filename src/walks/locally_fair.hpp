@@ -1,0 +1,47 @@
+// Locally fair exploration strategies (Cooper, Ilcinkas, Klasing, Kosowski,
+// Distributed Computing 2011 — reference [5] of the paper):
+//   * Least-Used-First: leave the current vertex along the incident edge
+//     traversed the fewest times so far (covers all edges in O(mD); fair
+//     long-run edge frequencies).
+//   * Oldest-First: leave along the incident edge that has waited the
+//     longest since its last traversal (can be exponentially slow on some
+//     graphs — the baselines bench exhibits the contrast).
+// Both are deterministic; ties break by slot order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+enum class FairnessCriterion : std::uint8_t { kLeastUsedFirst, kOldestFirst };
+
+class LocallyFairWalk {
+ public:
+  LocallyFairWalk(const Graph& g, Vertex start, FairnessCriterion criterion);
+
+  void step();
+  bool run_until_vertex_cover(std::uint64_t max_steps);
+  bool run_until_edge_cover(std::uint64_t max_steps);
+
+  Vertex current() const { return current_; }
+  std::uint64_t steps() const { return steps_; }
+  const CoverState& cover() const { return cover_; }
+
+  /// Traversal count per edge (for long-run fairness checks).
+  const std::vector<std::uint64_t>& edge_traversals() const { return traversals_; }
+
+ private:
+  const Graph* g_;
+  FairnessCriterion criterion_;
+  Vertex current_;
+  std::uint64_t steps_ = 0;
+  CoverState cover_;
+  std::vector<std::uint64_t> traversals_;  // per edge
+  std::vector<std::uint64_t> last_used_;   // per edge; 0 == never
+};
+
+}  // namespace ewalk

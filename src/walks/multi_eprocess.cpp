@@ -1,0 +1,101 @@
+#include "walks/multi_eprocess.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ewalk {
+
+MultiEProcess::MultiEProcess(const Graph& g, std::vector<Vertex> starts,
+                             UnvisitedEdgeRule& rule)
+    : g_(&g), rule_(&rule), positions_(std::move(starts)),
+      cover_(g.num_vertices(), g.num_edges()) {
+  if (positions_.empty())
+    throw std::invalid_argument("MultiEProcess: need at least one walker");
+  for (const Vertex v : positions_) {
+    if (v >= g.num_vertices())
+      throw std::invalid_argument("MultiEProcess: start vertex out of range");
+  }
+  const std::size_t total_slots = 2 * static_cast<std::size_t>(g.num_edges());
+  order_.resize(total_slots);
+  blue_count_.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t off = g.slot_offset(v);
+    const std::uint32_t d = g.degree(v);
+    blue_count_[v] = d;
+    for (std::uint32_t k = 0; k < d; ++k) order_[off + k] = k;
+  }
+  scratch_candidates_.reserve(g.max_degree());
+  for (const Vertex v : positions_) cover_.visit_vertex(v, 0);
+}
+
+void MultiEProcess::mark_edge_visited(EdgeId e) {
+  const auto [u, v] = g_->endpoints(e);
+  const auto evict = [this](Vertex owner, EdgeId edge) {
+    const std::uint32_t off = g_->slot_offset(owner);
+    const std::uint32_t b = blue_count_[owner];
+    for (std::uint32_t p = 0; p < b; ++p) {
+      const std::uint32_t k = order_[off + p];
+      if (g_->slot(owner, k).edge == edge) {
+        const std::uint32_t last = b - 1;
+        order_[off + p] = order_[off + last];
+        order_[off + last] = k;
+        blue_count_[owner] = last;
+        return true;
+      }
+    }
+    return false;
+  };
+  const bool at_u = evict(u, e);
+  assert(at_u);
+  (void)at_u;
+  const bool other = evict(u == v ? u : v, e);
+  assert(other);
+  (void)other;
+}
+
+StepColor MultiEProcess::step(Rng& rng) {
+  const std::uint32_t w = next_walker_;
+  next_walker_ = (next_walker_ + 1) % num_walkers();
+  const Vertex v = positions_[w];
+  ++steps_;
+  StepColor color;
+  Vertex to;
+  if (blue_count_[v] > 0) {
+    const std::uint32_t off = g_->slot_offset(v);
+    const std::uint32_t b = blue_count_[v];
+    scratch_candidates_.clear();
+    for (std::uint32_t p = 0; p < b; ++p)
+      scratch_candidates_.push_back(g_->slot(v, order_[off + p]));
+    const EProcessView view(*g_, cover_, steps_);
+    const std::uint32_t idx = rule_->choose(view, v, scratch_candidates_, rng);
+    if (idx >= b) throw std::logic_error("MultiEProcess: rule returned bad index");
+    const Slot chosen = scratch_candidates_[idx];
+    mark_edge_visited(chosen.edge);
+    cover_.visit_edge(chosen.edge, steps_);
+    to = chosen.neighbor;
+    color = StepColor::kBlue;
+    ++blue_steps_;
+  } else {
+    const std::uint32_t d = g_->degree(v);
+    if (d == 0) throw std::logic_error("MultiEProcess: stuck at isolated vertex");
+    const Slot slot = g_->slot(v, static_cast<std::uint32_t>(rng.uniform(d)));
+    to = slot.neighbor;
+    color = StepColor::kRed;
+    ++red_steps_;
+  }
+  positions_[w] = to;
+  cover_.visit_vertex(to, steps_);
+  return color;
+}
+
+bool MultiEProcess::run_until_vertex_cover(Rng& rng, std::uint64_t max_steps) {
+  while (!cover_.all_vertices_covered() && steps_ < max_steps) step(rng);
+  return cover_.all_vertices_covered();
+}
+
+bool MultiEProcess::run_until_edge_cover(Rng& rng, std::uint64_t max_steps) {
+  while (!cover_.all_edges_covered() && steps_ < max_steps) step(rng);
+  return cover_.all_edges_covered();
+}
+
+}  // namespace ewalk

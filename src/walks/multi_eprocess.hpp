@@ -1,0 +1,61 @@
+// Multi-walker E-process: k cooperating walkers sharing one visited-edge
+// state.
+//
+// A natural extension the paper's framework invites (the E-process is a
+// single token; distributed exploration wants several): all walkers consult
+// the same blue/red edge colouring, and each step of the *system* advances
+// one walker round-robin. Cover times are reported in system steps, so a
+// perfect parallelisation would show cover_time(k) ≈ cover_time(1): the
+// interesting question is how close cooperation gets (contention: walkers
+// steal each other's blue edges; the blue-phase parity argument holds per
+// walker only until another walker breaks the local parity, so this is a
+// genuinely different process — measured, not analysed, here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walks/cover_state.hpp"
+#include "walks/eprocess.hpp"
+
+namespace ewalk {
+
+class MultiEProcess {
+ public:
+  /// `starts` gives one start vertex per walker (k = starts.size() >= 1).
+  /// The rule is shared across walkers and must outlive the process.
+  MultiEProcess(const Graph& g, std::vector<Vertex> starts, UnvisitedEdgeRule& rule);
+
+  /// Advances the next walker (round-robin). Returns its transition colour.
+  StepColor step(Rng& rng);
+
+  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
+  bool run_until_edge_cover(Rng& rng, std::uint64_t max_steps);
+
+  std::uint32_t num_walkers() const { return static_cast<std::uint32_t>(positions_.size()); }
+  Vertex position(std::uint32_t walker) const { return positions_[walker]; }
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t blue_steps() const { return blue_steps_; }
+  std::uint64_t red_steps() const { return red_steps_; }
+  const CoverState& cover() const { return cover_; }
+  std::uint32_t blue_degree(Vertex v) const { return blue_count_[v]; }
+
+ private:
+  void mark_edge_visited(EdgeId e);
+
+  const Graph* g_;
+  UnvisitedEdgeRule* rule_;
+  std::vector<Vertex> positions_;
+  std::uint32_t next_walker_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t blue_steps_ = 0;
+  std::uint64_t red_steps_ = 0;
+  CoverState cover_;
+  std::vector<std::uint32_t> order_;       // blue-prefix partition, as EProcess
+  std::vector<std::uint32_t> blue_count_;
+  std::vector<Slot> scratch_candidates_;
+};
+
+}  // namespace ewalk

@@ -1,0 +1,40 @@
+// Rotor-router (Propp machine) walk — deterministic baseline (Section 1).
+//
+// Each vertex keeps a rotor over its incident slots; the walk exits along
+// the rotor's slot and advances the rotor. Cover time is O(mD) (Yanovski,
+// Wagner, Bruckstein), which the baselines bench contrasts with the
+// E-process. The E-process itself is described by the paper as "a hybrid
+// between a rotor-router and a random walk".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+class RotorRouter {
+ public:
+  RotorRouter(const Graph& g, Vertex start);
+
+  /// One deterministic transition.
+  void step();
+
+  bool run_until_vertex_cover(std::uint64_t max_steps);
+  bool run_until_edge_cover(std::uint64_t max_steps);
+
+  Vertex current() const { return current_; }
+  std::uint64_t steps() const { return steps_; }
+  const CoverState& cover() const { return cover_; }
+
+ private:
+  const Graph* g_;
+  Vertex current_;
+  std::uint64_t steps_ = 0;
+  CoverState cover_;
+  std::vector<std::uint32_t> rotor_;  // next slot index per vertex
+};
+
+}  // namespace ewalk

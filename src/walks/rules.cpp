@@ -1,0 +1,6 @@
+// Rules are header-only; this translation unit anchors the vtables.
+#include "walks/rules.hpp"
+
+namespace ewalk {
+// Intentionally empty: UnvisitedEdgeRule implementations are inline.
+}  // namespace ewalk

@@ -1,0 +1,136 @@
+// Concrete choice rules A for the E-process.
+//
+// Theorem 1 holds for *any* rule, "even if this choice is decided on-line by
+// an adversary"; the rule-independence bench exercises each of these:
+//   * UniformRule       — u.a.r. among blue edges; this instance of the
+//                         E-process is the Greedy Random Walk of
+//                         Orenshtein–Shinkar.
+//   * FirstSlotRule     — deterministic: lowest incident slot first.
+//   * LastSlotRule      — deterministic: highest incident slot first.
+//   * RoundRobinRule    — rotor-like pointer per vertex over blue slots.
+//   * PreferVisitedEndpointRule   — adversary: steers the blue walk toward
+//                         already well-visited territory, away from new
+//                         vertices (most visit-count endpoint first).
+//   * PreferUnvisitedEndpointRule — greedy helper: moves toward unvisited
+//                         endpoints when possible (lower bound foil).
+#pragma once
+
+#include <vector>
+
+#include "walks/eprocess.hpp"
+
+namespace ewalk {
+
+class UniformRule final : public UnvisitedEdgeRule {
+ public:
+  std::uint32_t choose(const EProcessView&, Vertex, std::span<const Slot> candidates,
+                       Rng& rng) override {
+    return static_cast<std::uint32_t>(rng.uniform(candidates.size()));
+  }
+  const char* name() const override { return "uniform"; }
+};
+
+class FirstSlotRule final : public UnvisitedEdgeRule {
+ public:
+  std::uint32_t choose(const EProcessView&, Vertex, std::span<const Slot>,
+                       Rng&) override {
+    return 0;
+  }
+  const char* name() const override { return "first-slot"; }
+};
+
+class LastSlotRule final : public UnvisitedEdgeRule {
+ public:
+  std::uint32_t choose(const EProcessView&, Vertex, std::span<const Slot> candidates,
+                       Rng&) override {
+    return static_cast<std::uint32_t>(candidates.size() - 1);
+  }
+  const char* name() const override { return "last-slot"; }
+};
+
+/// Deterministic per-vertex rotating pointer over whatever blue candidates
+/// remain — an on-line deterministic rule in the spirit of rotor-routers.
+class RoundRobinRule final : public UnvisitedEdgeRule {
+ public:
+  explicit RoundRobinRule(Vertex n) : next_(n, 0) {}
+  std::uint32_t choose(const EProcessView&, Vertex at, std::span<const Slot> candidates,
+                       Rng&) override {
+    const std::uint32_t idx = next_[at] % static_cast<std::uint32_t>(candidates.size());
+    next_[at] = idx + 1;
+    return idx;
+  }
+  const char* name() const override { return "round-robin"; }
+
+ private:
+  std::vector<std::uint32_t> next_;
+};
+
+/// Adversarial rule: among blue edges, pick the endpoint the walk has
+/// visited most often (delaying discovery of new vertices). Ties break to
+/// the lowest slot, so the rule is deterministic given the walk history.
+class PreferVisitedEndpointRule final : public UnvisitedEdgeRule {
+ public:
+  std::uint32_t choose(const EProcessView& view, Vertex, std::span<const Slot> candidates,
+                       Rng&) override {
+    std::uint32_t best = 0;
+    std::uint32_t best_count = view.cover().visit_count(candidates[0].neighbor);
+    for (std::uint32_t i = 1; i < candidates.size(); ++i) {
+      const std::uint32_t c = view.cover().visit_count(candidates[i].neighbor);
+      if (c > best_count) {
+        best = i;
+        best_count = c;
+      }
+    }
+    return best;
+  }
+  const char* name() const override { return "adversary-prefer-visited"; }
+};
+
+/// Offline adversary: a fixed priority permutation over *edge ids*, drawn
+/// once at construction (or supplied). At each blue step the candidate with
+/// the highest priority wins. Models the paper's "the rule could ... vary
+/// from vertex to vertex" / offline-adversary allowance: the entire schedule
+/// is fixed before the walk starts.
+class FixedPriorityRule final : public UnvisitedEdgeRule {
+ public:
+  FixedPriorityRule(EdgeId num_edges, Rng& rng) : priority_(num_edges) {
+    for (EdgeId e = 0; e < num_edges; ++e) priority_[e] = e;
+    rng.shuffle(std::span<EdgeId>(priority_));
+  }
+  explicit FixedPriorityRule(std::vector<EdgeId> priority)
+      : priority_(std::move(priority)) {}
+
+  std::uint32_t choose(const EProcessView&, Vertex, std::span<const Slot> candidates,
+                       Rng&) override {
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < candidates.size(); ++i)
+      if (priority_[candidates[i].edge] < priority_[candidates[best].edge]) best = i;
+    return best;
+  }
+  const char* name() const override { return "fixed-priority"; }
+
+ private:
+  std::vector<EdgeId> priority_;
+};
+
+/// Greedy rule: prefer blue edges leading to unvisited endpoints.
+class PreferUnvisitedEndpointRule final : public UnvisitedEdgeRule {
+ public:
+  std::uint32_t choose(const EProcessView& view, Vertex, std::span<const Slot> candidates,
+                       Rng& rng) override {
+    std::uint32_t unvisited_seen = 0;
+    std::uint32_t pick = 0;
+    for (std::uint32_t i = 0; i < candidates.size(); ++i) {
+      if (!view.cover().vertex_visited(candidates[i].neighbor)) {
+        ++unvisited_seen;
+        // Reservoir sample uniformly among unvisited endpoints.
+        if (rng.uniform(unvisited_seen) == 0) pick = i;
+      }
+    }
+    if (unvisited_seen > 0) return pick;
+    return static_cast<std::uint32_t>(rng.uniform(candidates.size()));
+  }
+  const char* name() const override { return "greedy-prefer-unvisited"; }
+};
+
+}  // namespace ewalk

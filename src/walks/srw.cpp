@@ -1,0 +1,49 @@
+#include "walks/srw.hpp"
+
+#include <stdexcept>
+
+namespace ewalk {
+
+SimpleRandomWalk::SimpleRandomWalk(const Graph& g, Vertex start, SrwOptions options)
+    : g_(&g), options_(options), current_(start),
+      cover_(g.num_vertices(), g.num_edges()) {
+  if (start >= g.num_vertices())
+    throw std::invalid_argument("SimpleRandomWalk: start vertex out of range");
+  cover_.visit_vertex(start, 0);
+}
+
+void SimpleRandomWalk::step(Rng& rng) {
+  ++steps_;
+  if (options_.lazy && rng.bernoulli(0.5)) {
+    cover_.visit_vertex(current_, steps_);
+    return;
+  }
+  const std::uint32_t d = g_->degree(current_);
+  if (d == 0) throw std::logic_error("SimpleRandomWalk: stuck at isolated vertex");
+  const Slot slot = g_->slot(current_, static_cast<std::uint32_t>(rng.uniform(d)));
+  cover_.visit_edge(slot.edge, steps_);
+  current_ = slot.neighbor;
+  cover_.visit_vertex(current_, steps_);
+}
+
+bool SimpleRandomWalk::run_until_vertex_cover(Rng& rng, std::uint64_t max_steps) {
+  while (!cover_.all_vertices_covered() && steps_ < max_steps) step(rng);
+  return cover_.all_vertices_covered();
+}
+
+bool SimpleRandomWalk::run_until_edge_cover(Rng& rng, std::uint64_t max_steps) {
+  while (!cover_.all_edges_covered() && steps_ < max_steps) step(rng);
+  return cover_.all_edges_covered();
+}
+
+bool SimpleRandomWalk::run_until_visit_count(Rng& rng, std::uint32_t count,
+                                             std::uint64_t max_steps) {
+  while (cover_.min_visit_count() < count && steps_ < max_steps) {
+    // min_visit_count is O(n); check it only every n steps.
+    const std::uint64_t burst = g_->num_vertices();
+    for (std::uint64_t i = 0; i < burst && steps_ < max_steps; ++i) step(rng);
+  }
+  return cover_.min_visit_count() >= count;
+}
+
+}  // namespace ewalk

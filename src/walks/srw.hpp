@@ -1,0 +1,49 @@
+// Simple random walk (SRW) and its lazy variant.
+//
+// The SRW is both the baseline the paper's lower bounds speak about
+// (C_V >= (1-o(1)) n log n, Feige) and the embedded "red walk" of the
+// E-process. Laziness (stay put with probability 1/2) is the paper's
+// standard fix for bipartite graphs, where λ_n = -1 breaks mixing.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+struct SrwOptions {
+  bool lazy = false;  ///< stay put with probability 1/2 before each move
+};
+
+class SimpleRandomWalk {
+ public:
+  SimpleRandomWalk(const Graph& g, Vertex start, SrwOptions options = {});
+
+  /// One transition (a lazy hold still counts as a step).
+  void step(Rng& rng);
+
+  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
+  bool run_until_edge_cover(Rng& rng, std::uint64_t max_steps);
+
+  /// Runs until every vertex has been visited at least `count` times (used
+  /// for blanket-style bounds: d(v) visits force all incident edges red in
+  /// the E-process edge-cover argument, eq. (4)). Returns true on success.
+  bool run_until_visit_count(Rng& rng, std::uint32_t count, std::uint64_t max_steps);
+
+  Vertex current() const { return current_; }
+  std::uint64_t steps() const { return steps_; }
+  const Graph& graph() const { return *g_; }
+  const CoverState& cover() const { return cover_; }
+
+ private:
+  const Graph* g_;
+  SrwOptions options_;
+  Vertex current_;
+  std::uint64_t steps_ = 0;
+  CoverState cover_;
+};
+
+}  // namespace ewalk

@@ -1,0 +1,40 @@
+#include "walks/vertex_process.hpp"
+
+#include <stdexcept>
+
+namespace ewalk {
+
+UnvisitedVertexWalk::UnvisitedVertexWalk(const Graph& g, Vertex start)
+    : g_(&g), current_(start), cover_(g.num_vertices(), g.num_edges()) {
+  if (start >= g.num_vertices())
+    throw std::invalid_argument("UnvisitedVertexWalk: start vertex out of range");
+  scratch_.reserve(g.max_degree());
+  cover_.visit_vertex(start, 0);
+}
+
+void UnvisitedVertexWalk::step(Rng& rng) {
+  ++steps_;
+  const std::uint32_t deg = g_->degree(current_);
+  if (deg == 0) throw std::logic_error("UnvisitedVertexWalk: stuck at isolated vertex");
+
+  scratch_.clear();
+  for (const Slot& s : g_->slots(current_))
+    if (!cover_.vertex_visited(s.neighbor)) scratch_.push_back(s);
+
+  Slot chosen{};
+  if (!scratch_.empty()) {
+    chosen = scratch_[static_cast<std::size_t>(rng.uniform(scratch_.size()))];
+  } else {
+    chosen = g_->slot(current_, static_cast<std::uint32_t>(rng.uniform(deg)));
+  }
+  cover_.visit_edge(chosen.edge, steps_);
+  current_ = chosen.neighbor;
+  cover_.visit_vertex(current_, steps_);
+}
+
+bool UnvisitedVertexWalk::run_until_vertex_cover(Rng& rng, std::uint64_t max_steps) {
+  while (!cover_.all_vertices_covered() && steps_ < max_steps) step(rng);
+  return cover_.all_vertices_covered();
+}
+
+}  // namespace ewalk

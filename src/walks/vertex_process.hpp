@@ -1,0 +1,36 @@
+// Unvisited-*vertex*-preferring walk (the V-process of the authors'
+// companion paper, arXiv 2012, reference [4]): if the current vertex has
+// unvisited neighbours, move to one chosen u.a.r.; otherwise take a simple
+// random walk step. Contrast with the E-process which prefers unvisited
+// *edges* — Figure-1-style benches compare the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+class UnvisitedVertexWalk {
+ public:
+  UnvisitedVertexWalk(const Graph& g, Vertex start);
+
+  void step(Rng& rng);
+  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
+
+  Vertex current() const { return current_; }
+  std::uint64_t steps() const { return steps_; }
+  const CoverState& cover() const { return cover_; }
+
+ private:
+  const Graph* g_;
+  Vertex current_;
+  std::uint64_t steps_ = 0;
+  CoverState cover_;
+  std::vector<Slot> scratch_;
+};
+
+}  // namespace ewalk

@@ -1,0 +1,127 @@
+// Tests for the experiment harness: parallel determinism, trial accounting,
+// and the convenience cover measurements.
+#include <gtest/gtest.h>
+
+#include "covertime/experiment.hpp"
+#include "graph/generators.hpp"
+#include "walks/rules.hpp"
+
+namespace ewalk {
+namespace {
+
+TEST(RunTrials, DeterministicAcrossThreadCounts) {
+  const auto fn = [](Rng& rng, std::uint32_t) -> double {
+    double acc = 0;
+    for (int i = 0; i < 1000; ++i) acc += rng.uniform_real();
+    return acc;
+  };
+  const auto serial = run_trials(16, 1, 99, fn);
+  const auto par2 = run_trials(16, 2, 99, fn);
+  const auto par8 = run_trials(16, 8, 99, fn);
+  EXPECT_EQ(serial, par2);
+  EXPECT_EQ(serial, par8);
+}
+
+TEST(RunTrials, TrialIndexPassed) {
+  const auto fn = [](Rng&, std::uint32_t idx) -> double { return idx; };
+  const auto out = run_trials(5, 3, 1, fn);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(out[i], i);
+}
+
+TEST(RunTrials, ZeroTrials) {
+  const auto out = run_trials(0, 4, 1, [](Rng&, std::uint32_t) { return 1.0; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RunTrials, SummaryMatchesSamples) {
+  const auto fn = [](Rng& rng, std::uint32_t) -> double {
+    return static_cast<double>(rng.uniform(100));
+  };
+  const auto samples = run_trials(20, 4, 7, fn);
+  const auto summary = run_trials_summary(20, 4, 7, fn);
+  EXPECT_EQ(summary.count, 20u);
+  EXPECT_DOUBLE_EQ(summary.mean, summarize(samples).mean);
+}
+
+TEST(MeasureCover, EProcessOnCycleIsExact) {
+  // On C_n the E-process covers vertices in exactly n-1 steps and edges in
+  // exactly n steps regardless of trials/seeds.
+  CoverExperimentConfig config;
+  config.trials = 4;
+  config.master_seed = 5;
+  const GraphFactory graphs = [](Rng&) { return cycle_graph(50); };
+  const RuleFactory rules = [](const Graph&) {
+    return std::make_unique<UniformRule>();
+  };
+  auto res = measure_eprocess_cover(graphs, rules, config);
+  EXPECT_EQ(res.uncovered_trials, 0u);
+  EXPECT_DOUBLE_EQ(res.stats.mean, 49.0);
+
+  config.target = CoverTarget::kEdges;
+  res = measure_eprocess_cover(graphs, rules, config);
+  EXPECT_DOUBLE_EQ(res.stats.mean, 50.0);
+}
+
+TEST(MeasureCover, FreshGraphPerTrial) {
+  // The factory must be invoked once per trial: count invocations.
+  std::atomic<int> calls{0};
+  CoverExperimentConfig config;
+  config.trials = 6;
+  config.threads = 2;
+  const GraphFactory graphs = [&calls](Rng& rng) {
+    calls.fetch_add(1);
+    return random_regular_connected(40, 4, rng);
+  };
+  const RuleFactory rules = [](const Graph&) {
+    return std::make_unique<UniformRule>();
+  };
+  const auto res = measure_eprocess_cover(graphs, rules, config);
+  EXPECT_EQ(calls.load(), 6);
+  EXPECT_EQ(res.samples.size(), 6u);
+  EXPECT_EQ(res.uncovered_trials, 0u);
+}
+
+TEST(MeasureCover, SrwCoversAndIsSlowerThanEProcess) {
+  CoverExperimentConfig config;
+  config.trials = 5;
+  config.master_seed = 11;
+  const GraphFactory graphs = [](Rng& rng) {
+    return random_regular_connected(200, 4, rng);
+  };
+  const RuleFactory rules = [](const Graph&) {
+    return std::make_unique<UniformRule>();
+  };
+  const auto ep = measure_eprocess_cover(graphs, rules, config);
+  const auto srw = measure_srw_cover(graphs, config);
+  EXPECT_EQ(ep.uncovered_trials, 0u);
+  EXPECT_EQ(srw.uncovered_trials, 0u);
+  EXPECT_LT(ep.stats.mean, srw.stats.mean);
+}
+
+TEST(MeasureCover, BudgetExhaustionCounted) {
+  CoverExperimentConfig config;
+  config.trials = 3;
+  config.max_steps = 5;  // absurdly small: cover impossible
+  const GraphFactory graphs = [](Rng&) { return cycle_graph(100); };
+  const auto res = measure_srw_cover(graphs, config);
+  EXPECT_EQ(res.uncovered_trials, 3u);
+  EXPECT_DOUBLE_EQ(res.stats.mean, 5.0);
+}
+
+TEST(MeasureCover, ReproducibleForSameSeed) {
+  CoverExperimentConfig config;
+  config.trials = 4;
+  config.master_seed = 21;
+  const GraphFactory graphs = [](Rng& rng) {
+    return random_regular_connected(60, 4, rng);
+  };
+  const RuleFactory rules = [](const Graph&) {
+    return std::make_unique<UniformRule>();
+  };
+  const auto a = measure_eprocess_cover(graphs, rules, config);
+  const auto b = measure_eprocess_cover(graphs, rules, config);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+}  // namespace
+}  // namespace ewalk

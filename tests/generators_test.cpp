@@ -1,0 +1,254 @@
+// Tests for graph generators, including parameterized sweeps over the
+// random families (Steger–Wormald regular graphs are the paper's substrate).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace ewalk {
+namespace {
+
+TEST(Deterministic, CycleGraph) {
+  const Graph g = cycle_graph(7);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Deterministic, CompleteGraph) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.is_regular(5));
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Deterministic, CompleteBipartite) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(3), 3u);
+}
+
+TEST(Deterministic, Petersen) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Deterministic, Hypercube) {
+  const Graph g = hypercube(5);
+  EXPECT_EQ(g.num_vertices(), 32u);
+  EXPECT_EQ(g.num_edges(), 80u);
+  EXPECT_TRUE(g.is_regular(5));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Deterministic, TorusIsFourRegularEvenDegree) {
+  const Graph g = torus_2d(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_TRUE(g.all_degrees_even());
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Deterministic, GridCornersAndInterior) {
+  const Graph g = grid_2d(4, 3);
+  EXPECT_EQ(g.degree(0), 2u);       // corner
+  EXPECT_EQ(g.degree(5), 4u);       // interior (x=1,y=1)
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // horizontal + vertical
+}
+
+TEST(Deterministic, LollipopAndBarbell) {
+  const Graph l = lollipop(5, 3);
+  EXPECT_EQ(l.num_vertices(), 8u);
+  EXPECT_EQ(l.num_edges(), 10u + 3u);
+  EXPECT_TRUE(is_connected(l));
+  EXPECT_EQ(l.degree(7), 1u);  // path tip
+
+  const Graph b = barbell(4, 2);
+  EXPECT_EQ(b.num_vertices(), 10u);
+  EXPECT_TRUE(is_connected(b));
+}
+
+TEST(Deterministic, CirculantEvenDegree) {
+  const Graph g = circulant(12, {1, 3});
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_TRUE(g.all_degrees_even());
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(circulant(10, {5}), std::invalid_argument);  // n/2 offset
+  EXPECT_THROW(circulant(10, {0}), std::invalid_argument);
+}
+
+TEST(Deterministic, BinaryTree) {
+  const Graph g = binary_tree(4);
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Deterministic, StarGraph) {
+  const Graph g = star_graph(6);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Deterministic, MargulisExpander) {
+  const Graph g = margulis_expander(12);
+  EXPECT_EQ(g.num_vertices(), 144u);
+  EXPECT_TRUE(g.is_regular(8));       // loops count twice
+  EXPECT_TRUE(g.all_degrees_even());
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(margulis_expander(1), std::invalid_argument);
+}
+
+TEST(Deterministic, MargulisIsDeterministic) {
+  const Graph a = margulis_expander(9);
+  const Graph b = margulis_expander(9);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.endpoints(e).u, b.endpoints(e).u);
+    EXPECT_EQ(a.endpoints(e).v, b.endpoints(e).v);
+  }
+}
+
+// ---- Random regular graphs (paper's generator) ---------------------------
+
+class RandomRegularTest
+    : public ::testing::TestWithParam<std::tuple<Vertex, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(RandomRegularTest, ProducesSimpleRegularGraph) {
+  const auto [n, r, seed] = GetParam();
+  Rng rng(seed);
+  const Graph g = random_regular(n, r, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(static_cast<std::uint64_t>(n) * r / 2));
+  EXPECT_TRUE(g.is_regular(r));
+  EXPECT_TRUE(g.is_simple());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRegularTest,
+    ::testing::Combine(::testing::Values<Vertex>(10, 50, 200, 1000),
+                       ::testing::Values<std::uint32_t>(3, 4, 5, 6, 7),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(RandomRegular, ConnectedVariantIsConnected) {
+  Rng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = random_regular_connected(100, 4, rng);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(RandomRegular, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);   // odd n*r
+  EXPECT_THROW(random_regular(4, 4, rng), std::invalid_argument);   // r >= n
+}
+
+TEST(RandomRegular, DifferentSeedsGiveDifferentGraphs) {
+  Rng a(100), b(200);
+  const Graph ga = random_regular(60, 4, a);
+  const Graph gb = random_regular(60, 4, b);
+  // Compare edge sets via sorted endpoint keys.
+  auto key = [](const Graph& g) {
+    std::vector<std::uint64_t> ks;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto [u, v] = g.endpoints(e);
+      ks.push_back((static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v));
+    }
+    std::sort(ks.begin(), ks.end());
+    return ks;
+  };
+  EXPECT_NE(key(ga), key(gb));
+}
+
+// ---- Configuration model --------------------------------------------------
+
+TEST(ConfigurationModel, SimpleRespectsDegreeSequence) {
+  Rng rng(5);
+  const std::vector<std::uint32_t> degrees{4, 4, 4, 4, 2, 2, 2, 2, 2, 2};
+  const Graph g = configuration_model(degrees, rng, /*simple=*/true);
+  EXPECT_TRUE(g.is_simple());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), degrees[v]);
+}
+
+TEST(ConfigurationModel, MultigraphKeepsDegrees) {
+  Rng rng(6);
+  const std::vector<std::uint32_t> degrees{6, 6, 4, 4, 4};
+  const Graph g = configuration_model(degrees, rng, /*simple=*/false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), degrees[v]);
+}
+
+TEST(ConfigurationModel, RejectsOddSum) {
+  Rng rng(7);
+  EXPECT_THROW(configuration_model({3, 2}, rng, false), std::invalid_argument);
+}
+
+// ---- Hamiltonian cycle union ----------------------------------------------
+
+class HamUnionTest
+    : public ::testing::TestWithParam<std::tuple<Vertex, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(HamUnionTest, EvenRegularConnectedSimple) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(seed);
+  const Graph g = hamiltonian_cycle_union(n, k, rng);
+  EXPECT_TRUE(g.is_regular(2 * k));
+  EXPECT_TRUE(g.all_degrees_even());
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.is_simple());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HamUnionTest,
+    ::testing::Combine(::testing::Values<Vertex>(20, 100, 500),
+                       ::testing::Values<std::uint32_t>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(11, 12)));
+
+// ---- Erdős–Rényi and geometric --------------------------------------------
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  Rng rng(8);
+  const Vertex n = 500;
+  const double p = 0.02;
+  const Graph g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_GT(g.num_edges(), expected * 0.8);
+  EXPECT_LT(g.num_edges(), expected * 1.2);
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  Rng rng(9);
+  EXPECT_EQ(erdos_renyi(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(RandomGeometric, MatchesBruteForce) {
+  Rng rng(10);
+  const Graph g = random_geometric(200, 0.15, rng);
+  EXPECT_TRUE(g.is_simple());
+  // With radius 0.15 on 200 points expect roughly pi*r^2*n^2/2 edges (minus
+  // boundary effects) — sanity-band check.
+  const double expected = 3.14159 * 0.15 * 0.15 * 200.0 * 199.0 / 2.0;
+  EXPECT_GT(g.num_edges(), expected * 0.5);
+  EXPECT_LT(g.num_edges(), expected * 1.2);
+}
+
+TEST(RandomGeometric, LargeRadiusIsComplete) {
+  Rng rng(11);
+  const Graph g = random_geometric(30, 2.0, rng);
+  EXPECT_EQ(g.num_edges(), 30u * 29 / 2);
+}
+
+}  // namespace
+}  // namespace ewalk

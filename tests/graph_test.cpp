@@ -1,0 +1,177 @@
+// Tests for the graph core: construction, multigraph semantics, CSR
+// integrity, basic algorithms, and serialisation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ewalk {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  return b.build();
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.all_degrees_even());
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Graph, SlotsConsistentWithEndpoints) {
+  const Graph g = triangle();
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Slot& s : g.slots(v)) {
+      const auto [a, b] = g.endpoints(s.edge);
+      EXPECT_TRUE((a == v && b == s.neighbor) || (b == v && a == s.neighbor));
+      EXPECT_EQ(g.other_endpoint(s.edge, v), s.neighbor);
+    }
+  }
+}
+
+TEST(Graph, SlotIndexingRoundTrip) {
+  const Graph g = complete_graph(6);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < g.degree(v); ++k) {
+      EXPECT_EQ(g.slot_index(v, k), g.slot_offset(v) + k);
+      const Slot& s = g.slot(v, k);
+      EXPECT_LT(s.neighbor, g.num_vertices());
+      EXPECT_LT(s.edge, g.num_edges());
+    }
+  }
+}
+
+TEST(Graph, SelfLoopCountsTwice) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.has_self_loops());
+  EXPECT_FALSE(g.is_simple());
+  // The loop occupies two slots at vertex 0 with the same edge id.
+  int loop_slots = 0;
+  for (const Slot& s : g.slots(0))
+    if (s.neighbor == 0) ++loop_slots;
+  EXPECT_EQ(loop_slots, 2);
+}
+
+TEST(Graph, ParallelEdgesDetected) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_parallel_edges());
+  EXPECT_FALSE(g.is_simple());
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.all_degrees_even());
+}
+
+TEST(Graph, OddDegreeFlag) {
+  const Graph g = path_graph(3);
+  EXPECT_FALSE(g.all_degrees_even());
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, StationaryProbabilitySumsToOne) {
+  const Graph g = lollipop(5, 4);
+  double total = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) total += g.stationary_probability(v);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Graph, FromEdgesRejectsOutOfRange) {
+  const Endpoints bad[] = {{0, 5}};
+  EXPECT_THROW(Graph::from_edges(3, bad), std::invalid_argument);
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Algorithms, BfsUnreachable) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 2u);
+  EXPECT_EQ(comps.id[0], comps.id[1]);
+  EXPECT_NE(comps.id[0], comps.id[2]);
+}
+
+TEST(Algorithms, DiameterKnownValues) {
+  EXPECT_EQ(diameter(path_graph(6)), 5u);
+  EXPECT_EQ(diameter(cycle_graph(8)), 4u);
+  EXPECT_EQ(diameter(complete_graph(5)), 1u);
+  EXPECT_EQ(diameter(hypercube(4)), 4u);
+  EXPECT_EQ(diameter(petersen_graph()), 2u);
+}
+
+TEST(Algorithms, EccentricityOfPathEnd) {
+  EXPECT_EQ(eccentricity(path_graph(7), 0), 6u);
+  EXPECT_EQ(eccentricity(path_graph(7), 3), 3u);
+}
+
+TEST(Algorithms, DegreeSequenceSorted) {
+  const Graph g = star_graph(5);
+  const auto seq = degree_sequence(g);
+  EXPECT_EQ(seq[0], 4u);
+  for (std::size_t i = 1; i < seq.size(); ++i) EXPECT_EQ(seq[i], 1u);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = petersen_graph();
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(degree_sequence(h), degree_sequence(g));
+  EXPECT_EQ(diameter(h), diameter(g));
+}
+
+TEST(Io, RejectsTruncatedInput) {
+  std::stringstream ss("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(Io, DotContainsEdges) {
+  std::stringstream ss;
+  write_dot(triangle(), ss, "T");
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("graph T"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ewalk

@@ -1,0 +1,122 @@
+// Tests for the Lubotzky–Phillips–Sarnak Ramanujan graph construction and
+// its number-theory helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/girth.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/lps.hpp"
+#include "spectral/spectrum.hpp"
+
+namespace ewalk {
+namespace {
+
+TEST(NumberTheory, IsPrime) {
+  EXPECT_TRUE(is_prime_u32(2));
+  EXPECT_TRUE(is_prime_u32(5));
+  EXPECT_TRUE(is_prime_u32(13));
+  EXPECT_TRUE(is_prime_u32(104729));
+  EXPECT_FALSE(is_prime_u32(0));
+  EXPECT_FALSE(is_prime_u32(1));
+  EXPECT_FALSE(is_prime_u32(9));
+  EXPECT_FALSE(is_prime_u32(104730));
+}
+
+TEST(NumberTheory, PowMod) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(3, 0, 7), 1u);
+  EXPECT_EQ(pow_mod(7, 13 - 1, 13), 1u);  // Fermat
+}
+
+TEST(NumberTheory, LegendreSymbol) {
+  // Squares mod 13: 1,4,9,3,12,10.
+  for (std::uint64_t a : {1, 3, 4, 9, 10, 12}) EXPECT_EQ(legendre_symbol(a, 13), 1) << a;
+  for (std::uint64_t a : {2, 5, 6, 7, 8, 11}) EXPECT_EQ(legendre_symbol(a, 13), -1) << a;
+  EXPECT_EQ(legendre_symbol(13, 13), 0);
+}
+
+TEST(NumberTheory, SqrtModPrime) {
+  for (std::uint64_t p : {13ull, 17ull, 29ull, 101ull, 1009ull}) {
+    for (std::uint64_t x = 1; x < std::min<std::uint64_t>(p, 50); ++x) {
+      const std::uint64_t a = x * x % p;
+      const std::uint64_t r = sqrt_mod_prime(a, p);
+      EXPECT_EQ(r * r % p, a) << "p=" << p << " a=" << a;
+    }
+  }
+  EXPECT_THROW(sqrt_mod_prime(2, 5), std::invalid_argument);  // 2 is a non-residue mod 5
+}
+
+TEST(Lps, PslCaseOrderAndRegularity) {
+  // p=5, q=29: 29 mod 5 == 4 == -1, so (5|29) = 1 => PSL, non-bipartite.
+  const LpsParams params{5, 29};
+  EXPECT_TRUE(lps_is_psl_case(params));
+  const Graph g = lps_graph(params);
+  EXPECT_EQ(g.num_vertices(), lps_expected_order(params));
+  EXPECT_EQ(g.num_vertices(), 29u * (29 * 29 - 1) / 2);  // 12180
+  EXPECT_TRUE(g.is_regular(6));
+  EXPECT_TRUE(g.all_degrees_even());
+  EXPECT_TRUE(g.is_simple());
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Lps, PglCaseIsBipartiteDouble) {
+  // p=5, q=13: 13 mod 5 == 3, non-residue => PGL, bipartite.
+  const LpsParams params{5, 13};
+  EXPECT_FALSE(lps_is_psl_case(params));
+  const Graph g = lps_graph(params);
+  EXPECT_EQ(g.num_vertices(), 13u * (13 * 13 - 1));  // 2184
+  EXPECT_TRUE(g.is_regular(6));
+  EXPECT_TRUE(is_connected(g));
+  // Bipartite: the SRW spectrum has λn = -1.
+  const auto spec = estimate_spectrum(g);
+  EXPECT_NEAR(spec.lambda_n, -1.0, 1e-6);
+}
+
+TEST(Lps, GirthIsLogarithmic) {
+  const Graph g = lps_graph({5, 13});
+  const std::uint32_t gi = girth(g);
+  // LPS girth >= 2 log_p q; for p=5, q=13 that is >= 3.18..., and the true
+  // girth of bipartite X^{5,13} is substantially larger. Require >= 6 (the
+  // graph is bipartite so girth is even and > 4 for these parameters).
+  EXPECT_GE(gi, 6u);
+}
+
+TEST(Lps, RamanujanEigenvalueBound) {
+  const Graph g = lps_graph({5, 13});
+  const auto spec = estimate_spectrum(g);
+  // Ramanujan: non-trivial adjacency eigenvalues <= 2*sqrt(p) = 2*sqrt(5).
+  // Transition eigenvalues scale by 1/(p+1) = 1/6.
+  const double bound = 2.0 * std::sqrt(5.0) / 6.0;
+  EXPECT_LE(spec.lambda2, bound + 1e-6);
+  // Bipartite => λn = -1 makes the plain gap 0; the lazy gap is what the
+  // paper uses in that case.
+  EXPECT_NEAR(spec.gap(), 0.0, 1e-6);
+  EXPECT_GT(spec.lazy_gap(), (1.0 - bound) / 2.0 - 1e-6);
+}
+
+TEST(Lps, LargerPDegree14) {
+  // p=13, q=17: (13|17) = 1 (both 1 mod 4, 17 mod 13 = 4 is a square), so
+  // PSL case: n = 17*(17^2-1)/2 = 2448, degree 14 (even), non-bipartite.
+  const LpsParams params{13, 17};
+  EXPECT_TRUE(lps_is_psl_case(params));
+  const Graph g = lps_graph(params);
+  EXPECT_EQ(g.num_vertices(), 2448u);
+  EXPECT_TRUE(g.is_regular(14));
+  EXPECT_TRUE(g.all_degrees_even());
+  EXPECT_TRUE(is_connected(g));
+  const auto spec = estimate_spectrum(g);
+  // Ramanujan bound: lambda2 <= 2*sqrt(13)/14.
+  EXPECT_LE(spec.lambda2, 2.0 * std::sqrt(13.0) / 14.0 + 1e-6);
+}
+
+TEST(Lps, RejectsBadParameters) {
+  EXPECT_THROW(lps_graph({4, 13}), std::invalid_argument);   // p not prime
+  EXPECT_THROW(lps_graph({7, 13}), std::invalid_argument);   // p % 4 == 3
+  EXPECT_THROW(lps_graph({5, 11}), std::invalid_argument);   // q % 4 == 3
+  EXPECT_THROW(lps_graph({5, 5}), std::invalid_argument);    // p == q
+  EXPECT_THROW(lps_graph({13, 5}), std::invalid_argument);   // q <= 2 sqrt(p)
+}
+
+}  // namespace
+}  // namespace ewalk

@@ -1,0 +1,67 @@
+// Tests for the consolidated graph profile.
+#include <gtest/gtest.h>
+
+#include "analysis/girth.hpp"
+#include "analysis/profile.hpp"
+#include "graph/generators.hpp"
+
+namespace ewalk {
+namespace {
+
+TEST(Profile, RandomRegularExpander) {
+  Rng rng(1);
+  const Graph g = random_regular_connected(500, 4, rng);
+  const auto p = profile_graph(g);
+  EXPECT_EQ(p.n, 500u);
+  EXPECT_EQ(p.m, 1000u);
+  EXPECT_EQ(p.min_degree, 4u);
+  EXPECT_TRUE(p.all_degrees_even);
+  EXPECT_TRUE(p.connected);
+  EXPECT_TRUE(p.simple);
+  EXPECT_EQ(p.girth, 3u);
+  EXPECT_GT(p.gap, 0.05);
+  EXPECT_GT(p.certified_ell, 0u);
+  EXPECT_GT(p.mixing_time, 0.0);
+  EXPECT_GT(p.theorem1_shape, static_cast<double>(p.n));
+  EXPECT_GT(p.theorem3_shape, static_cast<double>(p.m));
+}
+
+TEST(Profile, BipartiteUsesLazyGap) {
+  const auto p = profile_graph(complete_bipartite(6, 6));
+  EXPECT_NEAR(p.gap, 0.0, 1e-6);
+  EXPECT_GT(p.lazy_gap, 0.1);
+  EXPECT_GT(p.mixing_time, 0.0);  // computed from the lazy gap
+}
+
+TEST(Profile, AcyclicGraphs) {
+  const auto p = profile_graph(binary_tree(4));
+  EXPECT_EQ(p.girth, kInfiniteGirth);
+  EXPECT_EQ(p.certified_ell, kInfiniteGirth);
+  EXPECT_EQ(p.theorem3_shape, 0.0);  // girth term undefined
+}
+
+TEST(Profile, SkipEllOption) {
+  ProfileOptions options;
+  options.compute_ell = false;
+  const auto p = profile_graph(cycle_graph(50), options);
+  EXPECT_EQ(p.certified_ell, 0u);
+  EXPECT_EQ(p.theorem1_shape, 0.0);
+}
+
+TEST(Profile, FormatMentionsKeyFields) {
+  const auto p = profile_graph(torus_2d(5, 5));
+  const std::string text = format_profile(p);
+  EXPECT_NE(text.find("vertices"), std::string::npos);
+  EXPECT_NE(text.find("girth"), std::string::npos);
+  EXPECT_NE(text.find("conductance"), std::string::npos);
+  EXPECT_NE(text.find("all even"), std::string::npos);
+}
+
+TEST(Profile, CycleEllEqualsN) {
+  const auto p = profile_graph(cycle_graph(12));
+  EXPECT_EQ(p.girth, 12u);
+  EXPECT_EQ(p.certified_ell, 12u);
+}
+
+}  // namespace
+}  // namespace ewalk

@@ -1,0 +1,175 @@
+// Tests for the spectral module against known closed-form spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/generators.hpp"
+#include "spectral/conductance.hpp"
+#include "spectral/spectrum.hpp"
+
+namespace ewalk {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(DenseSpectrum, CompleteGraph) {
+  // K_n transition eigenvalues: 1 and -1/(n-1) (multiplicity n-1).
+  const Graph g = complete_graph(6);
+  const auto eig = dense_spectrum(g);
+  ASSERT_EQ(eig.size(), 6u);
+  EXPECT_NEAR(eig[0], 1.0, kTol);
+  for (std::size_t i = 1; i < eig.size(); ++i) EXPECT_NEAR(eig[i], -0.2, kTol);
+}
+
+TEST(DenseSpectrum, CycleGraph) {
+  // C_n transition eigenvalues: cos(2 pi k / n).
+  const int n = 8;
+  const Graph g = cycle_graph(n);
+  const auto eig = dense_spectrum(g);
+  std::vector<double> expected;
+  for (int k = 0; k < n; ++k) expected.push_back(std::cos(2.0 * std::numbers::pi * k / n));
+  std::sort(expected.begin(), expected.end(), std::greater<>());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(eig[i], expected[i], kTol) << i;
+}
+
+TEST(DenseSpectrum, HypercubeLambda2) {
+  // H_r transition eigenvalues: 1 - 2k/r; λ2 = 1 - 2/r.
+  const Graph g = hypercube(4);
+  const auto eig = dense_spectrum(g);
+  EXPECT_NEAR(eig[0], 1.0, kTol);
+  EXPECT_NEAR(eig[1], 1.0 - 2.0 / 4, kTol);
+  EXPECT_NEAR(eig.back(), -1.0, kTol);  // bipartite
+}
+
+TEST(DenseSpectrum, SelfLoopShiftsSpectrum) {
+  // A loop adds 2 to a vertex's degree and 2 to A_vv; spectrum stays in [-1,1].
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(0, 0);
+  const auto eig = dense_spectrum(b.build());
+  EXPECT_NEAR(eig[0], 1.0, kTol);
+  for (const double l : eig) {
+    EXPECT_LE(l, 1.0 + kTol);
+    EXPECT_GE(l, -1.0 - kTol);
+  }
+}
+
+TEST(EstimateSpectrum, MatchesDenseOnKnownGraphs) {
+  for (const Graph& g : {cycle_graph(12), complete_graph(9), hypercube(4),
+                         petersen_graph(), torus_2d(4, 5)}) {
+    const auto dense = dense_spectrum(g);
+    const auto est = estimate_spectrum(g);
+    EXPECT_NEAR(est.lambda2, dense[1], 1e-5);
+    EXPECT_NEAR(est.lambda_n, dense.back(), 1e-5);
+    EXPECT_NEAR(est.lambda_max, std::max(dense[1], std::abs(dense.back())), 1e-5);
+  }
+}
+
+TEST(EstimateSpectrum, BipartiteDetectedViaLambdaN) {
+  const auto spec = estimate_spectrum(complete_bipartite(4, 6));
+  EXPECT_NEAR(spec.lambda_n, -1.0, 1e-6);
+  EXPECT_NEAR(spec.gap(), 0.0, 1e-6);
+  EXPECT_GT(spec.lazy_gap(), 0.0);
+}
+
+TEST(EstimateSpectrum, RandomRegularExpanderGap) {
+  Rng rng(42);
+  const Graph g = random_regular_connected(500, 4, rng);
+  const auto spec = estimate_spectrum(g);
+  // Friedman: λ2(adjacency) ≈ 2 sqrt(3) + eps, so λ2(P) ≈ 0.866. Use a
+  // conservative band.
+  EXPECT_LT(spec.lambda2, 0.95);
+  EXPECT_GT(spec.lambda2, 0.5);
+  EXPECT_GT(spec.gap(), 0.02);
+}
+
+TEST(EstimateSpectrum, MargulisHasConstantGap) {
+  // Margulis-type construction: the transition lambda2 stays uniformly
+  // bounded away from 1 as k grows (measured ~0.89-0.91 for this map set) -
+  // a *deterministic* even-degree expander family.
+  std::vector<double> lambdas;
+  for (const Vertex k : {8u, 16u, 24u, 32u}) {
+    const auto spec = estimate_spectrum(margulis_expander(k));
+    EXPECT_LT(spec.lambda2, 0.95) << k;
+    EXPECT_GT(spec.lambda2, 0.3) << k;
+    lambdas.push_back(spec.lambda2);
+  }
+  // No drift toward 1 once out of the small-size regime: the two largest
+  // sizes agree closely (the k=8 point is depressed by finite-size effects).
+  EXPECT_LT(std::abs(lambdas[3] - lambdas[2]), 0.03);
+}
+
+TEST(EstimateSpectrum, RejectsEmptyGraph) {
+  EXPECT_THROW(estimate_spectrum(Graph::from_edges(3, {})), std::invalid_argument);
+}
+
+TEST(MixingTime, Lemma7Formula) {
+  // T = K log n / gap.
+  EXPECT_NEAR(mixing_time_estimate(0.5, 100, 6.0), 6.0 * std::log(100.0) / 0.5, 1e-9);
+  EXPECT_THROW(mixing_time_estimate(0.0, 10), std::invalid_argument);
+}
+
+TEST(Conductance, CompleteGraphExact) {
+  // K_4: every cut has conductance >= 2/3; the minimum over balanced cuts
+  // is e(X,X̄)/d(X) = 4/6 = 2/3.
+  const double phi = exact_conductance(complete_graph(4));
+  EXPECT_NEAR(phi, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Conductance, CycleExact) {
+  // C_8: cutting into two arcs of 4 gives 2 crossing edges / degree 8.
+  const double phi = exact_conductance(cycle_graph(8));
+  EXPECT_NEAR(phi, 0.25, 1e-12);
+}
+
+TEST(Conductance, BarbellIsSmall) {
+  const double phi = exact_conductance(barbell(5, 2));
+  EXPECT_LT(phi, 0.1);
+}
+
+TEST(Conductance, CheegerBoundsHold) {
+  for (const Graph& g : {cycle_graph(10), complete_graph(6), petersen_graph(),
+                         barbell(4, 2)}) {
+    const double phi = exact_conductance(g);
+    const auto eig = dense_spectrum(g);
+    const auto bounds = conductance_bounds_from_lambda2(eig[1]);
+    EXPECT_GE(phi + 1e-9, bounds.lower);
+    EXPECT_LE(phi - 1e-9, bounds.upper);
+    // And eq. (19) of the paper directly: 1 - 2Φ <= λ2 <= 1 - Φ²/2.
+    EXPECT_LE(1.0 - 2.0 * phi, eig[1] + 1e-9);
+    EXPECT_LE(eig[1], 1.0 - phi * phi / 2.0 + 1e-9);
+  }
+}
+
+TEST(Conductance, CutConductanceMatchesEnumeration) {
+  const Graph g = cycle_graph(6);
+  std::vector<bool> cut(6, false);
+  cut[0] = cut[1] = cut[2] = true;
+  EXPECT_NEAR(cut_conductance(g, cut), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Conductance, RejectsOversizedGraph) {
+  EXPECT_THROW(exact_conductance(cycle_graph(30)), std::invalid_argument);
+}
+
+TEST(Jacobi, DiagonalMatrix) {
+  std::vector<double> m{3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const auto eig = jacobi_eigenvalues(m, 3);
+  EXPECT_NEAR(eig[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, SymmetricTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  std::vector<double> m{2, 1, 1, 2};
+  const auto eig = jacobi_eigenvalues(m, 2);
+  EXPECT_NEAR(eig[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ewalk

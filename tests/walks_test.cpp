@@ -1,0 +1,187 @@
+// Tests for the baseline processes: rotor-router, RWC(d), the
+// unvisited-vertex walk, and the locally fair strategies.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "walks/choice.hpp"
+#include "walks/locally_fair.hpp"
+#include "walks/rotor.hpp"
+#include "walks/vertex_process.hpp"
+
+namespace ewalk {
+namespace {
+
+// ---- Rotor-router -----------------------------------------------------------
+
+TEST(Rotor, IsDeterministic) {
+  const Graph g = torus_2d(5, 5);
+  RotorRouter a(g, 0), b(g, 0);
+  for (int i = 0; i < 1000; ++i) {
+    a.step();
+    b.step();
+    ASSERT_EQ(a.current(), b.current());
+  }
+}
+
+TEST(Rotor, CoversWithinMDBound) {
+  // Yanovski et al.: rotor-router covers (vertices and edges) within O(mD).
+  for (const Graph& g : {cycle_graph(30), torus_2d(6, 6), petersen_graph(),
+                         lollipop(6, 6), binary_tree(5)}) {
+    RotorRouter walk(g, 0);
+    const std::uint64_t bound =
+        4ull * g.num_edges() * (diameter(g) + 1) + 4 * g.num_edges() + 100;
+    EXPECT_TRUE(walk.run_until_edge_cover(bound)) << "m=" << g.num_edges();
+    EXPECT_TRUE(walk.cover().all_vertices_covered());
+  }
+}
+
+TEST(Rotor, EventuallyPeriodicWithPeriod2m) {
+  // Once the rotor-router enters its Eulerian circulation, it traverses each
+  // directed edge exactly once per 2m steps, so the position sequence is
+  // periodic with period 2m.
+  for (const Graph& g : {cycle_graph(12), torus_2d(4, 4), petersen_graph()}) {
+    RotorRouter walk(g, 0);
+    const std::uint64_t m = g.num_edges();
+    const std::uint64_t stabilise = 4 * m * (diameter(g) + 2);
+    for (std::uint64_t i = 0; i < stabilise; ++i) walk.step();
+    std::vector<Vertex> window;
+    for (std::uint64_t i = 0; i < 2 * m; ++i) {
+      window.push_back(walk.current());
+      walk.step();
+    }
+    for (std::uint64_t i = 0; i < 2 * m; ++i) {
+      ASSERT_EQ(walk.current(), window[i]) << "offset " << i;
+      walk.step();
+    }
+  }
+}
+
+TEST(Rotor, StartOutOfRangeThrows) {
+  const Graph g = cycle_graph(4);
+  EXPECT_THROW(RotorRouter(g, 4), std::invalid_argument);
+}
+
+// ---- Random walk with choice -----------------------------------------------
+
+TEST(Rwc, CoversGraph) {
+  Rng rng(1);
+  const Graph g = torus_2d(8, 8);
+  RandomWalkWithChoice walk(g, 0, 2);
+  ASSERT_TRUE(walk.run_until_vertex_cover(rng, 1u << 24));
+}
+
+TEST(Rwc, DegenerateD1IsPlainWalk) {
+  Rng rng(2);
+  const Graph g = cycle_graph(20);
+  RandomWalkWithChoice walk(g, 0, 1);
+  ASSERT_TRUE(walk.run_until_vertex_cover(rng, 1u << 24));
+}
+
+TEST(Rwc, RejectsZeroChoices) {
+  const Graph g = cycle_graph(4);
+  EXPECT_THROW(RandomWalkWithChoice(g, 0, 0), std::invalid_argument);
+}
+
+TEST(Rwc, ChoiceReducesCoverTimeOnTorus) {
+  // Avin–Krishnamachari report clear cover-time reductions for RWC(2) on
+  // toroidal grids; check the trial means reflect that (generous margin).
+  const Graph g = torus_2d(12, 12);
+  const int kTrials = 12;
+  double srw_total = 0, rwc_total = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng r1(100 + t), r2(200 + t);
+    RandomWalkWithChoice plain(g, 0, 1), choice(g, 0, 2);
+    EXPECT_TRUE(plain.run_until_vertex_cover(r1, 1u << 26));
+    EXPECT_TRUE(choice.run_until_vertex_cover(r2, 1u << 26));
+    srw_total += static_cast<double>(plain.cover().vertex_cover_step());
+    rwc_total += static_cast<double>(choice.cover().vertex_cover_step());
+  }
+  EXPECT_LT(rwc_total, srw_total);
+}
+
+// ---- Unvisited-vertex walk ---------------------------------------------------
+
+TEST(VertexWalk, CoversGraph) {
+  Rng rng(3);
+  const Graph g = random_regular_connected(100, 4, rng);
+  UnvisitedVertexWalk walk(g, 0);
+  ASSERT_TRUE(walk.run_until_vertex_cover(rng, 1u << 24));
+}
+
+TEST(VertexWalk, PrefersUnvisitedNeighbors) {
+  // From the center of a star, the walk must visit all leaves in the first
+  // 2(n-1) steps (every other step lands on a fresh leaf).
+  const Graph g = star_graph(10);
+  Rng rng(4);
+  UnvisitedVertexWalk walk(g, 0);
+  ASSERT_TRUE(walk.run_until_vertex_cover(rng, 2 * 9 + 1));
+  EXPECT_LE(walk.cover().vertex_cover_step(), 2u * 9 - 1);
+}
+
+TEST(VertexWalk, FasterThanSrwOnRegularGraphs) {
+  Rng grng(5);
+  const Graph g = random_regular_connected(300, 4, grng);
+  const int kTrials = 8;
+  double vw = 0, srw = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng r1(300 + t), r2(400 + t);
+    UnvisitedVertexWalk a(g, 0);
+    RandomWalkWithChoice b(g, 0, 1);  // plain SRW semantics
+    EXPECT_TRUE(a.run_until_vertex_cover(r1, 1u << 26));
+    EXPECT_TRUE(b.run_until_vertex_cover(r2, 1u << 26));
+    vw += static_cast<double>(a.cover().vertex_cover_step());
+    srw += static_cast<double>(b.cover().vertex_cover_step());
+  }
+  EXPECT_LT(vw, srw);
+}
+
+// ---- Locally fair strategies -------------------------------------------------
+
+TEST(LocallyFair, LeastUsedFirstCoversEdges) {
+  for (const Graph& g : {cycle_graph(20), torus_2d(5, 5), petersen_graph(),
+                         lollipop(5, 4)}) {
+    LocallyFairWalk walk(g, 0, FairnessCriterion::kLeastUsedFirst);
+    const std::uint64_t bound = 8ull * g.num_edges() * (diameter(g) + 2) + 100;
+    EXPECT_TRUE(walk.run_until_edge_cover(bound));
+  }
+}
+
+TEST(LocallyFair, LeastUsedFirstIsFairLongRun) {
+  // [5]: Least-Used-First traverses all edges with the same frequency in the
+  // long run. After many multiples of 2m steps the min/max traversal counts
+  // should be within a factor ~2.
+  const Graph g = torus_2d(5, 5);
+  LocallyFairWalk walk(g, 0, FairnessCriterion::kLeastUsedFirst);
+  const std::uint64_t m = g.num_edges();
+  for (std::uint64_t i = 0; i < 400 * m; ++i) walk.step();
+  const auto& tr = walk.edge_traversals();
+  const auto [lo, hi] = std::minmax_element(tr.begin(), tr.end());
+  EXPECT_GT(*lo, 0u);
+  EXPECT_LT(static_cast<double>(*hi) / static_cast<double>(*lo), 2.0);
+}
+
+TEST(LocallyFair, OldestFirstIsDeterministicAndCoversSmallGraphs) {
+  const Graph g = cycle_graph(15);
+  LocallyFairWalk a(g, 0, FairnessCriterion::kOldestFirst);
+  LocallyFairWalk b(g, 0, FairnessCriterion::kOldestFirst);
+  for (int i = 0; i < 500; ++i) {
+    a.step();
+    b.step();
+    ASSERT_EQ(a.current(), b.current());
+  }
+  LocallyFairWalk c(g, 0, FairnessCriterion::kOldestFirst);
+  EXPECT_TRUE(c.run_until_edge_cover(100000));
+}
+
+TEST(LocallyFair, TraversalCountsMatchSteps) {
+  const Graph g = petersen_graph();
+  LocallyFairWalk walk(g, 0, FairnessCriterion::kLeastUsedFirst);
+  for (int i = 0; i < 777; ++i) walk.step();
+  std::uint64_t total = 0;
+  for (const auto c : walk.edge_traversals()) total += c;
+  EXPECT_EQ(total, 777u);
+}
+
+}  // namespace
+}  // namespace ewalk
