@@ -7,33 +7,36 @@
 //
 // Rows: vertex cover time of each process on a torus, a random geometric
 // graph, and a random 4-regular graph, normalised by n.
-#include <functional>
-
 #include "bench/common.hpp"
 #include "covertime/experiment.hpp"
+#include "engine/budget.hpp"
+#include "engine/driver.hpp"
+#include "engine/registry.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
-#include "walks/choice.hpp"
-#include "walks/eprocess.hpp"
-#include "walks/locally_fair.hpp"
-#include "walks/rotor.hpp"
-#include "walks/rules.hpp"
-#include "walks/srw.hpp"
-#include "walks/vertex_process.hpp"
 
 using namespace ewalk;
 
 namespace {
 
-using Runner = std::function<double(const Graph&, Rng&)>;
+/// One table row: a registry process name plus its parameters.
+struct ProcessSpec {
+  const char* label;
+  const char* name;
+  ParamMap params;
+};
 
-double run_process(const char* label, const Graph& g, const Runner& runner,
+double run_process(const ProcessSpec& spec, const Graph& g,
                    const bench::BenchConfig& cfg, std::uint64_t salt,
                    CsvWriter& csv, std::uint32_t graph_id) {
   const auto stats = run_trials_summary(
       cfg.trials, cfg.threads, cfg.seed * 15485863 + salt,
-      [&](Rng& rng, std::uint32_t) { return runner(g, rng); });
-  std::printf("  %-16s %14.0f %10.3f\n", label, stats.mean,
+      [&](Rng& rng, std::uint32_t) {
+        auto walk = ProcessRegistry::instance().create(spec.name, g, spec.params, rng);
+        run_until_vertex_cover(*walk, rng, kUnlimitedSteps);
+        return static_cast<double>(walk->cover().vertex_cover_step());
+      });
+  std::printf("  %-16s %14.0f %10.3f\n", spec.label, stats.mean,
               stats.mean / g.num_vertices());
   csv.row({static_cast<double>(graph_id), static_cast<double>(salt), stats.mean,
            stats.mean / g.num_vertices()});
@@ -63,50 +66,14 @@ int main(int argc, char** argv) {
   auto csv = bench::open_csv("baselines",
                              {"graph_id", "process_id", "mean_cover", "normalised"});
 
-  const std::vector<std::pair<const char*, Runner>> processes{
-      {"srw",
-       [](const Graph& g, Rng& rng) {
-         SimpleRandomWalk w(g, 0);
-         w.run_until_vertex_cover(rng, 1ull << 42);
-         return static_cast<double>(w.cover().vertex_cover_step());
-       }},
-      {"rwc(2)",
-       [](const Graph& g, Rng& rng) {
-         RandomWalkWithChoice w(g, 0, 2);
-         w.run_until_vertex_cover(rng, 1ull << 42);
-         return static_cast<double>(w.cover().vertex_cover_step());
-       }},
-      {"rwc(3)",
-       [](const Graph& g, Rng& rng) {
-         RandomWalkWithChoice w(g, 0, 3);
-         w.run_until_vertex_cover(rng, 1ull << 42);
-         return static_cast<double>(w.cover().vertex_cover_step());
-       }},
-      {"vertex-walk",
-       [](const Graph& g, Rng& rng) {
-         UnvisitedVertexWalk w(g, 0);
-         w.run_until_vertex_cover(rng, 1ull << 42);
-         return static_cast<double>(w.cover().vertex_cover_step());
-       }},
-      {"eprocess",
-       [](const Graph& g, Rng& rng) {
-         UniformRule rule;
-         EProcess w(g, 0, rule);
-         w.run_until_vertex_cover(rng, 1ull << 42);
-         return static_cast<double>(w.cover().vertex_cover_step());
-       }},
-      {"rotor-router",
-       [](const Graph& g, Rng&) {
-         RotorRouter w(g, 0);
-         w.run_until_vertex_cover(1ull << 42);
-         return static_cast<double>(w.cover().vertex_cover_step());
-       }},
-      {"least-used",
-       [](const Graph& g, Rng&) {
-         LocallyFairWalk w(g, 0, FairnessCriterion::kLeastUsedFirst);
-         w.run_until_vertex_cover(1ull << 42);
-         return static_cast<double>(w.cover().vertex_cover_step());
-       }},
+  const std::vector<ProcessSpec> processes{
+      {"srw", "srw", {}},
+      {"rwc(2)", "rwc", {{"d", "2"}}},
+      {"rwc(3)", "rwc", {{"d", "3"}}},
+      {"vertex-walk", "vertexwalk", {}},
+      {"eprocess", "eprocess", {}},
+      {"rotor-router", "rotor", {}},
+      {"least-used", "leastused", {}},
   };
 
   const std::vector<std::pair<const char*, const Graph*>> graphs{
@@ -117,7 +84,7 @@ int main(int argc, char** argv) {
     std::printf("%s: n = %u, m = %u\n", gname, g->num_vertices(), g->num_edges());
     std::printf("  %-16s %14s %10s\n", "process", "C_V (mean)", "C_V/n");
     for (std::uint32_t pi = 0; pi < processes.size(); ++pi) {
-      run_process(processes[pi].first, *g, processes[pi].second, cfg, pi, *csv, gi);
+      run_process(processes[pi], *g, cfg, pi, *csv, gi);
     }
     std::printf("\n");
   }

@@ -12,6 +12,7 @@
 
 #include "bench/common.hpp"
 #include "covertime/experiment.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "walks/eprocess.hpp"
 #include "walks/rules.hpp"
@@ -50,10 +51,10 @@ int main(int argc, char** argv) {
         m = g.num_edges();
         UniformRule rule;
         EProcess ep(g, 0, rule);
-        if (!ep.run_until_edge_cover(rng, 1ull << 40)) sandwich_ok = false;
+        if (!run_until_edge_cover(ep, rng, 1ull << 40)) sandwich_ok = false;
         const double ce = static_cast<double>(ep.cover().edge_cover_step());
         SimpleRandomWalk srw(g, 0);
-        srw.run_until_vertex_cover(rng, 1ull << 40);
+        run_until_vertex_cover(srw, rng, 1ull << 40);
         const double cv = static_cast<double>(srw.cover().vertex_cover_step());
         ce_sum += ce;
         cv_sum += cv;

@@ -25,6 +25,7 @@
 #include <cmath>
 
 #include "bench/common.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "graph/transforms.hpp"
 #include "util/stats.hpp"
@@ -41,7 +42,7 @@ double mean_cover(const Graph& g, std::uint32_t trials, std::uint64_t seed) {
     Rng rng(seed + t);
     UniformRule rule;
     EProcess walk(g, 0, rule);
-    walk.run_until_vertex_cover(rng, 1ull << 42);
+    run_until_vertex_cover(walk, rng, 1ull << 42);
     acc += static_cast<double>(walk.cover().vertex_cover_step());
   }
   return acc / trials;

@@ -19,6 +19,7 @@
 #include "analysis/girth.hpp"
 #include "bench/common.hpp"
 #include "covertime/experiment.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "graph/lps.hpp"
 #include "spectral/spectrum.hpp"
@@ -44,7 +45,7 @@ void report(const char* family, const Graph& g, const bench::BenchConfig& cfg,
       [&g](Rng& rng, std::uint32_t) -> double {
         UniformRule rule;
         EProcess walk(g, 0, rule);
-        walk.run_until_edge_cover(rng, 1ull << 42);
+        run_until_edge_cover(walk, rng, 1ull << 42);
         return static_cast<double>(walk.cover().edge_cover_step());
       });
 

@@ -9,6 +9,7 @@
 
 #include "bench/common.hpp"
 #include "covertime/experiment.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "walks/eprocess.hpp"
 #include "walks/rules.hpp"
@@ -42,14 +43,14 @@ int main(int argc, char** argv) {
         [&g](Rng& rng, std::uint32_t) -> double {
           UniformRule rule;
           EProcess walk(g, 0, rule);
-          walk.run_until_edge_cover(rng, 1ull << 42);
+          run_until_edge_cover(walk, rng, 1ull << 42);
           return static_cast<double>(walk.cover().edge_cover_step());
         });
     const auto srw = run_trials_summary(
         cfg.trials, cfg.threads, cfg.seed * 104729 + r + 500,
         [&g](Rng& rng, std::uint32_t) -> double {
           SimpleRandomWalk walk(g, 0);
-          walk.run_until_edge_cover(rng, 1ull << 42);
+          run_until_edge_cover(walk, rng, 1ull << 42);
           return static_cast<double>(walk.cover().edge_cover_step());
         });
 

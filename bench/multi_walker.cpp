@@ -4,6 +4,7 @@
 // cooperation would keep the column flat in k (same total work), while the
 // per-walker wall-clock time (cover/k) shows the parallel speed-up.
 #include "bench/common.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "util/stats.hpp"
 #include "walks/multi_eprocess.hpp"
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
         starts[i] = static_cast<Vertex>((static_cast<std::uint64_t>(i) * n) / k);
       UniformRule rule;
       MultiEProcess multi(g, starts, rule);
-      multi.run_until_vertex_cover(rng, 1ull << 42);
+      run_until_vertex_cover(multi, rng, 1ull << 42);
       samples.push_back(static_cast<double>(multi.cover().vertex_cover_step()));
     }
     const auto stats = summarize(samples);

@@ -10,6 +10,7 @@
 
 #include "bench/common.hpp"
 #include "covertime/experiment.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "walks/rules.hpp"
 #include "walks/weighted.hpp"
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
             std::vector<double> w(g.num_edges());
             for (double& x : w) x = 0.5 + 1.5 * rng.uniform_real();
             WeightedRandomWalk walk(g, 0, w);
-            walk.run_until_vertex_cover(rng, 1ull << 40);
+            run_until_vertex_cover(walk, rng, 1ull << 40);
             return static_cast<double>(walk.cover().vertex_cover_step());
           });
 

@@ -11,6 +11,7 @@
 
 #include "analysis/ell_good.hpp"
 #include "analysis/girth.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "graph/lps.hpp"
 #include "spectral/conductance.hpp"
@@ -39,7 +40,7 @@ void census(const char* name, const Graph& g, std::uint32_t trials,
     Rng rng(seed + t);
     UniformRule rule;
     EProcess walk(g, 0, rule);
-    walk.run_until_vertex_cover(rng, 1ull << 42);
+    run_until_vertex_cover(walk, rng, 1ull << 42);
     cover += static_cast<double>(walk.cover().vertex_cover_step());
   }
   cover /= trials;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/blue.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
 #include "walks/eprocess.hpp"
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
   for (auto& [label, rule] : entries) {
     Rng rng(seed + 1);
     EProcess walk(g, 0, *rule, EProcessOptions{.record_phases = true});
-    walk.run_until_vertex_cover(rng, 1ull << 42);
+    run_until_vertex_cover(walk, rng, 1ull << 42);
     std::printf("%-22s %12llu %10.3f %10llu %10llu %8zu\n", label,
                 static_cast<unsigned long long>(walk.cover().vertex_cover_step()),
                 static_cast<double>(walk.cover().vertex_cover_step()) / n,

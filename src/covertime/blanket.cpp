@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "engine/driver.hpp"
 #include "walks/srw.hpp"
 
 namespace ewalk {
@@ -40,7 +41,7 @@ std::uint64_t measure_visit_all_r_times(const Graph& g, Vertex start,
                                         std::uint32_t count, Rng& rng,
                                         std::uint64_t max_steps) {
   SimpleRandomWalk walk(g, start);
-  if (walk.run_until_visit_count(rng, count, max_steps)) return walk.steps();
+  if (run_until_visit_count(walk, rng, count, max_steps)) return walk.steps();
   return max_steps;
 }
 

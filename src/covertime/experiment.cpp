@@ -3,6 +3,9 @@
 #include <atomic>
 #include <thread>
 
+#include "engine/adapters.hpp"
+#include "engine/budget.hpp"
+#include "engine/driver.hpp"
 #include "walks/srw.hpp"
 
 namespace ewalk {
@@ -45,85 +48,57 @@ SummaryStats run_trials_summary(std::uint32_t count, std::uint32_t threads,
   return summarize(samples);
 }
 
-namespace {
+CoverExperimentResult measure_cover(const ProcessFactory& processes,
+                                    const GraphFactory& graphs,
+                                    const CoverExperimentConfig& config) {
+  std::atomic<std::uint32_t> uncovered{0};
+  auto samples = run_trials(
+      config.trials, config.threads, config.master_seed,
+      [&](Rng& rng, std::uint32_t) -> double {
+        const Graph g = graphs(rng);
+        auto walk = processes(g, rng);
+        const std::uint64_t budget =
+            config.max_steps != 0 ? config.max_steps : default_step_budget(g);
+        bool done;
+        std::uint64_t result;
+        if (config.target == CoverTarget::kVertices) {
+          done = run_until(*walk, rng, VertexCovered{}, budget);
+          result = walk->cover().vertex_cover_step();
+        } else {
+          done = run_until(*walk, rng, EdgesCovered{}, budget);
+          result = walk->cover().edge_cover_step();
+        }
+        if (!done) {
+          uncovered.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<double>(budget);
+        }
+        return static_cast<double>(result);
+      });
 
-std::uint64_t default_max_steps(const Graph& g) {
-  // Generous ceiling: well above C_V for everything we simulate (the SRW on
-  // an n-vertex expander needs ~n ln n; lollipops are excluded from the
-  // default path by their own benches passing explicit budgets).
-  const std::uint64_t n = g.num_vertices();
-  const std::uint64_t m = g.num_edges();
-  return 200 * (n + m) * (64 - std::min<std::uint64_t>(63, __builtin_clzll(n | 1))) + 1000000;
+  CoverExperimentResult out;
+  out.samples = std::move(samples);
+  out.stats = summarize(out.samples);
+  out.uncovered_trials = uncovered.load();
+  return out;
 }
-
-}  // namespace
 
 CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
                                              const RuleFactory& rules,
                                              const CoverExperimentConfig& config) {
-  std::atomic<std::uint32_t> uncovered{0};
-  auto samples = run_trials(
-      config.trials, config.threads, config.master_seed,
-      [&](Rng& rng, std::uint32_t) -> double {
-        const Graph g = graphs(rng);
-        auto rule = rules(g);
-        EProcess walk(g, /*start=*/0, *rule);
-        const std::uint64_t budget =
-            config.max_steps != 0 ? config.max_steps : default_max_steps(g);
-        bool done;
-        std::uint64_t result;
-        if (config.target == CoverTarget::kVertices) {
-          done = walk.run_until_vertex_cover(rng, budget);
-          result = walk.cover().vertex_cover_step();
-        } else {
-          done = walk.run_until_edge_cover(rng, budget);
-          result = walk.cover().edge_cover_step();
-        }
-        if (!done) {
-          uncovered.fetch_add(1, std::memory_order_relaxed);
-          return static_cast<double>(budget);
-        }
-        return static_cast<double>(result);
-      });
-
-  CoverExperimentResult out;
-  out.samples = std::move(samples);
-  out.stats = summarize(out.samples);
-  out.uncovered_trials = uncovered.load();
-  return out;
+  return measure_cover(
+      [&rules](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
+        return std::make_unique<EProcessHandle>(g, /*start=*/0, rules(g));
+      },
+      graphs, config);
 }
 
 CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
                                         const CoverExperimentConfig& config) {
-  std::atomic<std::uint32_t> uncovered{0};
-  auto samples = run_trials(
-      config.trials, config.threads, config.master_seed,
-      [&](Rng& rng, std::uint32_t) -> double {
-        const Graph g = graphs(rng);
-        SimpleRandomWalk walk(g, /*start=*/0);
-        const std::uint64_t budget =
-            config.max_steps != 0 ? config.max_steps : default_max_steps(g);
-        bool done;
-        std::uint64_t result;
-        if (config.target == CoverTarget::kVertices) {
-          done = walk.run_until_vertex_cover(rng, budget);
-          result = walk.cover().vertex_cover_step();
-        } else {
-          done = walk.run_until_edge_cover(rng, budget);
-          result = walk.cover().edge_cover_step();
-        }
-        if (!done) {
-          uncovered.fetch_add(1, std::memory_order_relaxed);
-          return static_cast<double>(budget);
-        }
-        return static_cast<double>(result);
-      });
-
-  CoverExperimentResult out;
-  out.samples = std::move(samples);
-  out.stats = summarize(out.samples);
-  out.uncovered_trials = uncovered.load();
-  return out;
+  return measure_cover(
+      [](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
+        return std::make_unique<SimpleRandomWalk>(g, /*start=*/0);
+      },
+      graphs, config);
 }
 
 }  // namespace ewalk

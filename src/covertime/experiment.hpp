@@ -5,14 +5,19 @@
 //   * run_trials — generic parallel trial executor with per-trial
 //     deterministic RNG streams (bit-reproducible regardless of thread
 //     scheduling);
-//   * measure_* convenience wrappers for the common walk/cover pairings.
+//   * measure_cover — the one cover-time experiment: any WalkProcess
+//     factory, any graph factory, vertex or edge target;
+//   * measure_eprocess_cover / measure_srw_cover — thin wrappers over
+//     measure_cover for the two walks the paper benchmarks head-to-head.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/process.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -44,23 +49,38 @@ using GraphFactory = std::function<Graph(Rng&)>;
 /// Factory producing a fresh rule per trial (rules can be stateful).
 using RuleFactory = std::function<std::unique_ptr<UnvisitedEdgeRule>(const Graph&)>;
 
+/// Factory producing a fresh walk process per trial. The rng is the trial's
+/// private stream — construction-time draws (e.g. a priority rule's
+/// permutation) come out of the same stream the walk is then driven with,
+/// exactly as the legacy typed wrappers did.
+using ProcessFactory =
+    std::function<std::unique_ptr<WalkProcess>(const Graph&, Rng&)>;
+
 struct CoverExperimentConfig {
   std::uint32_t trials = 5;      ///< the paper used 5 per data point
   std::uint32_t threads = 0;     ///< 0 = hardware concurrency
   std::uint64_t master_seed = 1;
-  std::uint64_t max_steps = 0;   ///< 0 = 10^7 * safety heuristic (see .cpp)
+  std::uint64_t max_steps = 0;   ///< 0 = default_step_budget(g) (engine/budget.hpp)
   CoverTarget target = CoverTarget::kVertices;
 };
 
-/// Mean cover time of the E-process: a fresh graph and rule per trial, walk
-/// started at vertex 0. Trials that fail to cover within max_steps
-/// contribute max_steps (and are counted in `uncovered_trials`).
+/// Cover-time samples over `trials` fresh (graph, process) pairs. Trials
+/// that fail to cover within max_steps contribute max_steps (and are
+/// counted in `uncovered_trials`).
 struct CoverExperimentResult {
   SummaryStats stats;               ///< cover-time samples
   std::vector<double> samples;      ///< one per trial, trial order
   std::uint32_t uncovered_trials = 0;
 };
 
+/// The one generic cover experiment: a fresh graph and process per trial,
+/// driven by the engine's run_until to the configured target.
+CoverExperimentResult measure_cover(const ProcessFactory& processes,
+                                    const GraphFactory& graphs,
+                                    const CoverExperimentConfig& config);
+
+/// E-process convenience wrapper: walk started at vertex 0 with a fresh
+/// rule per trial.
 CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
                                              const RuleFactory& rules,
                                              const CoverExperimentConfig& config);

@@ -1,0 +1,68 @@
+// Thin WalkProcess adapters for the edge-process family.
+//
+// EProcess and MultiEProcess report the colour of each transition from
+// step(), so they cannot override WalkProcess::step(Rng&) directly (C++
+// forbids overloading on return type). These handles forward the interface
+// and additionally *own* the choice rule, which the underlying walks only
+// borrow — exactly what registry- and experiment-constructed processes
+// need: one value that keeps rule and walk alive together.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/process.hpp"
+#include "walks/eprocess.hpp"
+#include "walks/multi_eprocess.hpp"
+
+namespace ewalk {
+
+/// Owns a rule + EProcess pair and exposes them as a WalkProcess.
+class EProcessHandle final : public WalkProcess {
+ public:
+  EProcessHandle(const Graph& g, Vertex start,
+                 std::unique_ptr<UnvisitedEdgeRule> rule,
+                 EProcessOptions options = {})
+      : rule_(std::move(rule)), walk_(g, start, *rule_, options) {}
+
+  void step(Rng& rng) override { walk_.step(rng); }
+  Vertex current() const override { return walk_.current(); }
+  std::uint64_t steps() const override { return walk_.steps(); }
+  const CoverState& cover() const override { return walk_.cover(); }
+  const Graph& graph() const override { return walk_.graph(); }
+  std::string_view name() const override { return "eprocess"; }
+
+  /// The underlying walk, for colour/phase-aware callers.
+  EProcess& walk() { return walk_; }
+  const EProcess& walk() const { return walk_; }
+  const UnvisitedEdgeRule& rule() const { return *rule_; }
+
+ private:
+  std::unique_ptr<UnvisitedEdgeRule> rule_;  // must outlive walk_
+  EProcess walk_;
+};
+
+/// Owns a rule + MultiEProcess pair and exposes them as a WalkProcess.
+class MultiEProcessHandle final : public WalkProcess {
+ public:
+  MultiEProcessHandle(const Graph& g, std::vector<Vertex> starts,
+                      std::unique_ptr<UnvisitedEdgeRule> rule)
+      : rule_(std::move(rule)), walk_(g, std::move(starts), *rule_) {}
+
+  void step(Rng& rng) override { walk_.step(rng); }
+  Vertex current() const override { return walk_.current(); }
+  std::uint64_t steps() const override { return walk_.steps(); }
+  const CoverState& cover() const override { return walk_.cover(); }
+  const Graph& graph() const override { return walk_.graph(); }
+  std::string_view name() const override { return "multi-eprocess"; }
+
+  MultiEProcess& walk() { return walk_; }
+  const MultiEProcess& walk() const { return walk_; }
+
+ private:
+  std::unique_ptr<UnvisitedEdgeRule> rule_;  // must outlive walk_
+  MultiEProcess walk_;
+};
+
+}  // namespace ewalk

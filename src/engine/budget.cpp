@@ -1,0 +1,16 @@
+#include "engine/budget.hpp"
+
+#include <algorithm>
+
+namespace ewalk {
+
+std::uint64_t default_step_budget(const Graph& g) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  // floor(log2 n) + 1 via count-leading-zeros; n|1 avoids clz(0).
+  const std::uint64_t log2n =
+      64 - std::min<std::uint64_t>(63, __builtin_clzll(n | 1));
+  return 200 * (n + m) * log2n + 1000000;
+}
+
+}  // namespace ewalk

@@ -1,0 +1,26 @@
+// The one default-step-budget heuristic, shared by the CLI, the experiment
+// harness, and the benches (previously each computed its own).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+/// Effectively-unlimited step budget for callers that want "run to cover".
+inline constexpr std::uint64_t kUnlimitedSteps = 1ull << 62;
+
+/// Default step budget for cover experiments on `g`:
+///
+///     200 * (n + m) * (floor(log2 n) + 1)  +  10^6
+///
+/// A generous ceiling, well above the cover time of everything we simulate
+/// by default — the SRW on an n-vertex expander needs ~n ln n steps, the
+/// E-process Θ(m) — while still terminating promptly when a process fails
+/// to cover (disconnected graphs, adversarial rules on bad families).
+/// Pathological SRW families (lollipops: Θ(n³) hitting time) should pass an
+/// explicit budget, as their benches do.
+std::uint64_t default_step_budget(const Graph& g);
+
+}  // namespace ewalk

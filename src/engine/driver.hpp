@@ -1,0 +1,165 @@
+// The generic cover driver: one run_until() loop for every walk process.
+//
+// Replaces the per-class run_until_vertex_cover / run_until_edge_cover /
+// run_until_visit_count member loops that each walk used to duplicate.
+// The driver is a template over the process type, so it drives both
+//   * concrete walk classes (EProcess, SimpleRandomWalk, ...) with static
+//     dispatch — the hot loop compiles to exactly the old member loop — and
+//   * WalkProcess& (registry-constructed processes) with virtual dispatch.
+//
+// Termination predicates are small callables over the CoverState and
+// compose with all_of / any_of; the step budget is the driver's own
+// termination condition (run_until returns false when it is exhausted
+// before the predicate holds). Expensive predicates (min-visit-count is
+// O(n)) declare a check stride so the driver only evaluates them every
+// `stride` transitions — the same burst pattern the legacy
+// SimpleRandomWalk::run_until_visit_count used, reproducing its step counts
+// exactly.
+//
+// RNG discipline: the driver makes precisely one step() call per
+// transition and draws nothing from the rng itself, so a process driven by
+// run_until consumes the identical random stream as the deleted member
+// loops — per-trial reproducibility is preserved bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+
+#include "engine/process.hpp"
+#include "util/rng.hpp"
+#include "walks/cover_state.hpp"
+
+namespace ewalk {
+
+// ---- Termination predicates ---------------------------------------------
+
+/// All n vertices visited.
+struct VertexCovered {
+  bool operator()(const CoverState& c) const noexcept {
+    return c.all_vertices_covered();
+  }
+};
+
+/// All m edges traversed.
+struct EdgesCovered {
+  bool operator()(const CoverState& c) const noexcept {
+    return c.all_edges_covered();
+  }
+};
+
+/// Every vertex visited at least `count` times (blanket-style target; the
+/// check is O(n), so pair it with a stride — see visit_count_stride below).
+struct MinVisitCountAtLeast {
+  std::uint32_t count;
+  bool operator()(const CoverState& c) const noexcept {
+    return c.min_visit_count() >= count;
+  }
+};
+
+/// Conjunction of predicates: stop when every sub-predicate holds.
+template <typename... Preds>
+struct AllOf {
+  std::tuple<Preds...> preds;
+  bool operator()(const CoverState& c) const {
+    return std::apply([&](const auto&... p) { return (p(c) && ...); }, preds);
+  }
+};
+
+/// Disjunction of predicates: stop as soon as any sub-predicate holds.
+template <typename... Preds>
+struct AnyOf {
+  std::tuple<Preds...> preds;
+  bool operator()(const CoverState& c) const {
+    return std::apply([&](const auto&... p) { return (p(c) || ...); }, preds);
+  }
+};
+
+template <typename... Preds>
+AllOf<Preds...> all_of(Preds... preds) {
+  return AllOf<Preds...>{std::tuple<Preds...>(preds...)};
+}
+
+template <typename... Preds>
+AnyOf<Preds...> any_of(Preds... preds) {
+  return AnyOf<Preds...>{std::tuple<Preds...>(preds...)};
+}
+
+/// Stride at which an O(n) predicate is worth re-checking.
+inline std::uint64_t visit_count_stride(const Graph& g) {
+  return std::max<std::uint64_t>(1, g.num_vertices());
+}
+
+// ---- The generic driver ---------------------------------------------------
+
+/// Runs `process` until `predicate(process.cover())` holds or `max_steps`
+/// total transitions have been made (the step budget counts *all* steps of
+/// the process's lifetime, matching the legacy member loops). The predicate
+/// is evaluated every `check_stride` transitions (1 = every step). Returns
+/// true iff the predicate holds on exit.
+template <typename Process, typename Predicate>
+bool run_until(Process& process, Rng& rng, Predicate predicate,
+               std::uint64_t max_steps, std::uint64_t check_stride = 1) {
+  for (;;) {
+    if (predicate(process.cover())) return true;
+    if (process.steps() >= max_steps) return false;
+    const std::uint64_t remaining = max_steps - process.steps();
+    const std::uint64_t burst = std::min(check_stride, remaining);
+    for (std::uint64_t i = 0; i < burst; ++i) process.step(rng);
+  }
+}
+
+/// True for processes that advance without randomness (they expose a no-arg
+/// step() alongside the interface's step(Rng&)): rotor-router, locally-fair.
+template <typename Process>
+concept DeterministicProcess = requires(Process& p) { p.step(); };
+
+/// Deterministic-process convenience: drives processes whose step() ignores
+/// the rng without the caller owning one. Constrained so a stochastic walk
+/// cannot silently run on a hidden fixed stream — pass a real Rng there.
+template <DeterministicProcess Process, typename Predicate>
+bool run_until(Process& process, Predicate predicate, std::uint64_t max_steps,
+               std::uint64_t check_stride = 1) {
+  Rng unused(0);
+  return run_until(process, unused, predicate, max_steps, check_stride);
+}
+
+// ---- Convenience wrappers (the legacy member-loop surface) ---------------
+
+template <typename Process>
+bool run_until_vertex_cover(Process& process, Rng& rng, std::uint64_t max_steps) {
+  return run_until(process, rng, VertexCovered{}, max_steps);
+}
+
+template <typename Process>
+bool run_until_edge_cover(Process& process, Rng& rng, std::uint64_t max_steps) {
+  return run_until(process, rng, EdgesCovered{}, max_steps);
+}
+
+/// Runs until every vertex has been visited at least `count` times (blanket
+/// bounds: d(v) visits force all incident edges red in the E-process
+/// edge-cover argument, eq. (4)). Checked every n steps, as the legacy
+/// SimpleRandomWalk burst loop did.
+template <typename Process>
+bool run_until_visit_count(Process& process, Rng& rng, std::uint32_t count,
+                           std::uint64_t max_steps) {
+  return run_until(process, rng, MinVisitCountAtLeast{count}, max_steps,
+                   visit_count_stride(process.graph()));
+}
+
+// Rng-less overloads, restricted to deterministic processes (as the deleted
+// per-class API was: only RotorRouter and LocallyFairWalk had rng-less loops).
+
+template <DeterministicProcess Process>
+bool run_until_vertex_cover(Process& process, std::uint64_t max_steps) {
+  Rng unused(0);
+  return run_until(process, unused, VertexCovered{}, max_steps);
+}
+
+template <DeterministicProcess Process>
+bool run_until_edge_cover(Process& process, std::uint64_t max_steps) {
+  Rng unused(0);
+  return run_until(process, unused, EdgesCovered{}, max_steps);
+}
+
+}  // namespace ewalk

@@ -1,0 +1,43 @@
+// String key-value options for registry-driven construction.
+//
+// Both registries (processes and graph generators) are configured through a
+// ParamMap so the same factory serves the CLI (flags), the experiment
+// harness (programmatic maps), and future config-file frontends. Typed
+// getters mirror util/cli.hpp; a Cli's flag map converts directly via
+// ParamMap(cli.values()).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace ewalk {
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+  explicit ParamMap(std::map<std::string, std::string> values)
+      : values_(std::move(values)) {}
+  ParamMap(std::initializer_list<std::pair<const std::string, std::string>> kv)
+      : values_(kv) {}
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ewalk

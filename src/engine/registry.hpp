@@ -1,0 +1,141 @@
+// String-keyed registries: construct walk processes and graph families by
+// name from parsed options.
+//
+// The CLI, the experiment harness, and future sweep drivers all dispatch
+// through these instead of hand-written if-chains; --help output is
+// generated from the registered entries, so adding a process or generator
+// in one place makes it available (and documented) everywhere.
+//
+// Built-in entries are registered on first access; extensions can add their
+// own via add(). Lookup throws std::invalid_argument with the list of known
+// names, so a CLI typo produces a useful message.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/params.hpp"
+#include "engine/process.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walks/eprocess.hpp"
+
+namespace ewalk {
+
+/// Builds a choice rule by name: uniform | first | last | roundrobin |
+/// adversary | greedy | priority. Throws std::invalid_argument on unknown
+/// names. (The priority rule draws its permutation from `rng`.)
+std::unique_ptr<UnvisitedEdgeRule> make_rule(const std::string& name,
+                                             const Graph& g, Rng& rng);
+
+/// Names accepted by make_rule, for help output.
+const std::vector<std::string>& rule_names();
+
+namespace detail {
+
+/// Shared registry machinery: named entries with help strings, lookup that
+/// throws listing the known names, registration-order enumeration. The two
+/// concrete registries differ only in factory signature and error label.
+template <typename FactoryT>
+class NamedRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string params_help;  ///< e.g. "--rule R --start V"
+    std::string summary;      ///< one-line description
+    FactoryT factory;
+  };
+
+  void add(std::string name, std::string params_help, std::string summary,
+           FactoryT factory) {
+    for (const Entry& e : entries_)
+      if (e.name == name)
+        throw std::invalid_argument(std::string(kind_) +
+                                    " already registered: " + name);
+    entries_.push_back(Entry{std::move(name), std::move(params_help),
+                             std::move(summary), std::move(factory)});
+  }
+
+  bool contains(const std::string& name) const {
+    for (const Entry& e : entries_)
+      if (e.name == name) return true;
+    return false;
+  }
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.name);
+    return out;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ protected:
+  explicit NamedRegistry(const char* kind) : kind_(kind) {}
+
+  const Entry& find(const std::string& name) const {
+    for (const Entry& e : entries_)
+      if (e.name == name) return e;
+    std::ostringstream msg;
+    msg << "unknown " << kind_ << ": " << name << " (known:";
+    for (const Entry& e : entries_) msg << ' ' << e.name;
+    msg << ')';
+    throw std::invalid_argument(msg.str());
+  }
+
+ private:
+  const char* kind_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace detail
+
+/// Constructs a process on `g`. `params` carries process-specific options
+/// (start, rule, d, walkers, ...); `rng` is available for construction-time
+/// randomness (e.g. the priority rule's permutation) and is the same stream
+/// the walk will subsequently be driven with. (Distinct from the experiment
+/// harness's ProcessFactory, which has already bound its parameters.)
+using RegistryProcessFactory = std::function<std::unique_ptr<WalkProcess>(
+    const Graph& g, const ParamMap& params, Rng& rng)>;
+
+class ProcessRegistry : public detail::NamedRegistry<RegistryProcessFactory> {
+ public:
+  using Factory = RegistryProcessFactory;
+
+  /// The global registry, populated with the built-in processes.
+  static ProcessRegistry& instance();
+
+  std::unique_ptr<WalkProcess> create(const std::string& name, const Graph& g,
+                                      const ParamMap& params, Rng& rng) const {
+    return find(name).factory(g, params, rng);
+  }
+
+ private:
+  ProcessRegistry() : NamedRegistry("--walk") {}
+};
+
+using GraphGeneratorFactory =
+    std::function<Graph(const ParamMap& params, Rng& rng)>;
+
+class GeneratorRegistry : public detail::NamedRegistry<GraphGeneratorFactory> {
+ public:
+  using Factory = GraphGeneratorFactory;
+
+  /// The global registry, populated with the built-in graph families.
+  static GeneratorRegistry& instance();
+
+  Graph create(const std::string& name, const ParamMap& params, Rng& rng) const {
+    return find(name).factory(params, rng);
+  }
+
+ private:
+  GeneratorRegistry() : NamedRegistry("--graph") {}
+};
+
+}  // namespace ewalk

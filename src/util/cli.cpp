@@ -1,8 +1,5 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
-#include <stdexcept>
-
 namespace ewalk {
 
 Cli::Cli(int argc, char** argv) {
@@ -16,39 +13,13 @@ Cli::Cli(int argc, char** argv) {
     arg.erase(0, 2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      params_.set(arg.substr(0, eq), arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      params_.set(arg, argv[++i]);
     } else {
-      values_[arg] = "true";
+      params_.set(arg, "true");
     }
   }
-}
-
-std::string Cli::get(const std::string& key, const std::string& fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
-}
-
-std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stoll(it->second);
-}
-
-std::uint64_t Cli::get_u64(const std::string& key, std::uint64_t fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stoull(it->second);
-}
-
-double Cli::get_double(const std::string& key, double fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stod(it->second);
-}
-
-bool Cli::get_bool(const std::string& key, bool fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
 }  // namespace ewalk

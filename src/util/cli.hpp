@@ -1,7 +1,10 @@
 // Tiny CLI flag parser for bench/example binaries.
 //
 // Accepted forms: --key=value, --key value, and bare --flag (boolean true).
-// Unknown positional arguments are collected in positionals().
+// Unknown positional arguments are collected in positionals(). Parsed flags
+// are held in an engine ParamMap, which also supplies the typed getters —
+// one parser implementation serves both surfaces, so `--lazy yes` on the
+// command line and ParamMap{{"lazy", "yes"}} in code cannot disagree.
 #pragma once
 
 #include <cstdint>
@@ -9,26 +12,44 @@
 #include <string>
 #include <vector>
 
+#include "engine/params.hpp"
+
 namespace ewalk {
 
 class Cli {
  public:
   Cli(int argc, char** argv);
 
-  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  bool has(const std::string& key) const { return params_.has(key); }
 
-  std::string get(const std::string& key, const std::string& fallback) const;
-  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
-  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
-  double get_double(const std::string& key, double fallback) const;
-  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get(const std::string& key, const std::string& fallback) const {
+    return params_.get(key, fallback);
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    return params_.get_int(key, fallback);
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    return params_.get_u64(key, fallback);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    return params_.get_double(key, fallback);
+  }
+  bool get_bool(const std::string& key, bool fallback) const {
+    return params_.get_bool(key, fallback);
+  }
 
   const std::vector<std::string>& positionals() const { return positionals_; }
   const std::string& program() const { return program_; }
 
+  /// All parsed --key values, for forwarding into engine registries.
+  const ParamMap& params() const { return params_; }
+  const std::map<std::string, std::string>& values() const {
+    return params_.values();
+  }
+
  private:
   std::string program_;
-  std::map<std::string, std::string> values_;
+  ParamMap params_;
   std::vector<std::string> positionals_;
 };
 

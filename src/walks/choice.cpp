@@ -39,9 +39,4 @@ void RandomWalkWithChoice::step(Rng& rng) {
   cover_.visit_vertex(current_, steps_);
 }
 
-bool RandomWalkWithChoice::run_until_vertex_cover(Rng& rng, std::uint64_t max_steps) {
-  while (!cover_.all_vertices_covered() && steps_ < max_steps) step(rng);
-  return cover_.all_vertices_covered();
-}
-
 }  // namespace ewalk

@@ -6,23 +6,25 @@
 
 #include <cstdint>
 
+#include "engine/process.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 #include "walks/cover_state.hpp"
 
 namespace ewalk {
 
-class RandomWalkWithChoice {
+class RandomWalkWithChoice final : public WalkProcess {
  public:
   /// `d` >= 1 samples per step; d == 1 degenerates to the SRW.
   RandomWalkWithChoice(const Graph& g, Vertex start, std::uint32_t d);
 
-  void step(Rng& rng);
-  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
+  void step(Rng& rng) override;
 
-  Vertex current() const { return current_; }
-  std::uint64_t steps() const { return steps_; }
-  const CoverState& cover() const { return cover_; }
+  Vertex current() const override { return current_; }
+  std::uint64_t steps() const override { return steps_; }
+  const Graph& graph() const override { return *g_; }
+  const CoverState& cover() const override { return cover_; }
+  std::string_view name() const override { return "rwc"; }
 
  private:
   const Graph* g_;

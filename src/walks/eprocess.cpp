@@ -79,14 +79,23 @@ StepColor EProcess::step(Rng& rng) {
   if (blue_count_[v] > 0) {
     const std::uint32_t off = g_->slot_offset(v);
     const std::uint32_t b = blue_count_[v];
-    scratch_candidates_.clear();
-    for (std::uint32_t p = 0; p < b; ++p)
-      scratch_candidates_.push_back(g_->slot(v, order_[off + p]));
+    Slot chosen;
+    if (rule_->uniform_over_candidates()) {
+      // Fast path: the rule is a single uniform draw over the candidates, so
+      // sample the position directly through the blue-prefix partition —
+      // same rng draw (uniform(b)), same chosen slot, no O(Δ) materialise.
+      const std::uint32_t p = static_cast<std::uint32_t>(rng.uniform(b));
+      chosen = g_->slot(v, order_[off + p]);
+    } else {
+      scratch_candidates_.clear();
+      for (std::uint32_t p = 0; p < b; ++p)
+        scratch_candidates_.push_back(g_->slot(v, order_[off + p]));
 
-    const EProcessView view(*g_, cover_, steps_);
-    std::uint32_t idx = rule_->choose(view, v, scratch_candidates_, rng);
-    if (idx >= b) throw std::logic_error("UnvisitedEdgeRule returned out-of-range index");
-    const Slot chosen = scratch_candidates_[idx];
+      const EProcessView view(*g_, cover_, steps_);
+      std::uint32_t idx = rule_->choose(view, v, scratch_candidates_, rng);
+      if (idx >= b) throw std::logic_error("UnvisitedEdgeRule returned out-of-range index");
+      chosen = scratch_candidates_[idx];
+    }
     mark_edge_visited(chosen.edge);
     cover_.visit_edge(chosen.edge, steps_);
     to = chosen.neighbor;
@@ -104,16 +113,6 @@ StepColor EProcess::step(Rng& rng) {
   current_ = to;
   cover_.visit_vertex(to, steps_);
   return color;
-}
-
-bool EProcess::run_until_vertex_cover(Rng& rng, std::uint64_t max_steps) {
-  while (!cover_.all_vertices_covered() && steps_ < max_steps) step(rng);
-  return cover_.all_vertices_covered();
-}
-
-bool EProcess::run_until_edge_cover(Rng& rng, std::uint64_t max_steps) {
-  while (!cover_.all_edges_covered() && steps_ < max_steps) step(rng);
-  return cover_.all_edges_covered();
 }
 
 }  // namespace ewalk

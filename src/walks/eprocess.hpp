@@ -9,8 +9,11 @@
 //
 // Implementation notes:
 //  * Per-vertex incident slots are kept partitioned blue-prefix/red-suffix
-//    with an O(1) swap on every edge visit, so a blue step is O(Δ) (to
-//    materialise the candidate span for the rule) and a red step is O(1).
+//    with an O(1) swap on every edge visit, so a red step is O(1). A blue
+//    step is O(Δ) only for rules that inspect the candidate span; rules
+//    that declare themselves uniform (UniformRule) take an O(1) fast path
+//    that samples an index directly through the order_ partition — with the
+//    identical rng draw, so both paths produce the same walk.
 //  * The walk distinguishes blue and red transitions, exposing t_R and t_B
 //    (Observation 12: t = t_R + t_B with t_B <= m), and can record maximal
 //    blue/red phases for invariant checking (Observation 10: on even-degree
@@ -56,6 +59,11 @@ class UnvisitedEdgeRule {
                                std::span<const Slot> candidates, Rng& rng) = 0;
   /// Human-readable rule name for bench output.
   virtual const char* name() const = 0;
+  /// True iff choose() is exactly one uniform draw over the candidates
+  /// (rng.uniform(candidates.size())) with no other state. Walks use this
+  /// to skip materialising the candidate span: they sample the index
+  /// directly, preserving the rng stream bit-for-bit.
+  virtual bool uniform_over_candidates() const { return false; }
 };
 
 /// Transition colour of a step.
@@ -80,15 +88,10 @@ class EProcess {
   EProcess(const Graph& g, Vertex start, UnvisitedEdgeRule& rule,
            EProcessOptions options = {});
 
-  /// Performs one transition. Returns its colour.
+  /// Performs one transition. Returns its colour. Drive to a termination
+  /// condition with the generic engine driver (engine/driver.hpp), e.g.
+  /// run_until_vertex_cover(walk, rng, budget).
   StepColor step(Rng& rng);
-
-  /// Runs until all vertices are visited or max_steps transitions were made.
-  /// Returns true on cover.
-  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
-
-  /// Runs until all edges are visited or max_steps transitions were made.
-  bool run_until_edge_cover(Rng& rng, std::uint64_t max_steps);
 
   Vertex current() const { return current_; }
   Vertex start_vertex() const { return start_; }

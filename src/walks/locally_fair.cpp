@@ -34,14 +34,4 @@ void LocallyFairWalk::step() {
   cover_.visit_vertex(current_, steps_);
 }
 
-bool LocallyFairWalk::run_until_vertex_cover(std::uint64_t max_steps) {
-  while (!cover_.all_vertices_covered() && steps_ < max_steps) step();
-  return cover_.all_vertices_covered();
-}
-
-bool LocallyFairWalk::run_until_edge_cover(std::uint64_t max_steps) {
-  while (!cover_.all_edges_covered() && steps_ < max_steps) step();
-  return cover_.all_edges_covered();
-}
-
 }  // namespace ewalk

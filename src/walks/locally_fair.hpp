@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/process.hpp"
 #include "graph/graph.hpp"
 #include "walks/cover_state.hpp"
 
@@ -19,17 +20,21 @@ namespace ewalk {
 
 enum class FairnessCriterion : std::uint8_t { kLeastUsedFirst, kOldestFirst };
 
-class LocallyFairWalk {
+class LocallyFairWalk final : public WalkProcess {
  public:
   LocallyFairWalk(const Graph& g, Vertex start, FairnessCriterion criterion);
 
   void step();
-  bool run_until_vertex_cover(std::uint64_t max_steps);
-  bool run_until_edge_cover(std::uint64_t max_steps);
+  /// Engine-driver entry point; the rng is ignored (deterministic process).
+  void step(Rng&) override { step(); }
 
-  Vertex current() const { return current_; }
-  std::uint64_t steps() const { return steps_; }
-  const CoverState& cover() const { return cover_; }
+  Vertex current() const override { return current_; }
+  std::uint64_t steps() const override { return steps_; }
+  const Graph& graph() const override { return *g_; }
+  const CoverState& cover() const override { return cover_; }
+  std::string_view name() const override {
+    return criterion_ == FairnessCriterion::kLeastUsedFirst ? "leastused" : "oldest";
+  }
 
   /// Traversal count per edge (for long-run fairness checks).
   const std::vector<std::uint64_t>& edge_traversals() const { return traversals_; }

@@ -29,13 +29,15 @@ class MultiEProcess {
   MultiEProcess(const Graph& g, std::vector<Vertex> starts, UnvisitedEdgeRule& rule);
 
   /// Advances the next walker (round-robin). Returns its transition colour.
+  /// Drive to a termination condition with the engine driver
+  /// (engine/driver.hpp).
   StepColor step(Rng& rng);
-
-  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
-  bool run_until_edge_cover(Rng& rng, std::uint64_t max_steps);
 
   std::uint32_t num_walkers() const { return static_cast<std::uint32_t>(positions_.size()); }
   Vertex position(std::uint32_t walker) const { return positions_[walker]; }
+  /// Position of the walker about to move (the engine's notion of "current").
+  Vertex current() const { return positions_[next_walker_]; }
+  const Graph& graph() const { return *g_; }
   std::uint64_t steps() const { return steps_; }
   std::uint64_t blue_steps() const { return blue_steps_; }
   std::uint64_t red_steps() const { return red_steps_; }

@@ -24,14 +24,4 @@ void RotorRouter::step() {
   cover_.visit_vertex(current_, steps_);
 }
 
-bool RotorRouter::run_until_vertex_cover(std::uint64_t max_steps) {
-  while (!cover_.all_vertices_covered() && steps_ < max_steps) step();
-  return cover_.all_vertices_covered();
-}
-
-bool RotorRouter::run_until_edge_cover(std::uint64_t max_steps) {
-  while (!cover_.all_edges_covered() && steps_ < max_steps) step();
-  return cover_.all_edges_covered();
-}
-
 }  // namespace ewalk

@@ -10,24 +10,26 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/process.hpp"
 #include "graph/graph.hpp"
 #include "walks/cover_state.hpp"
 
 namespace ewalk {
 
-class RotorRouter {
+class RotorRouter final : public WalkProcess {
  public:
   RotorRouter(const Graph& g, Vertex start);
 
   /// One deterministic transition.
   void step();
+  /// Engine-driver entry point; the rng is ignored (deterministic process).
+  void step(Rng&) override { step(); }
 
-  bool run_until_vertex_cover(std::uint64_t max_steps);
-  bool run_until_edge_cover(std::uint64_t max_steps);
-
-  Vertex current() const { return current_; }
-  std::uint64_t steps() const { return steps_; }
-  const CoverState& cover() const { return cover_; }
+  Vertex current() const override { return current_; }
+  std::uint64_t steps() const override { return steps_; }
+  const Graph& graph() const override { return *g_; }
+  const CoverState& cover() const override { return cover_; }
+  std::string_view name() const override { return "rotor"; }
 
  private:
   const Graph* g_;

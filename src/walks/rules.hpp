@@ -28,6 +28,7 @@ class UniformRule final : public UnvisitedEdgeRule {
     return static_cast<std::uint32_t>(rng.uniform(candidates.size()));
   }
   const char* name() const override { return "uniform"; }
+  bool uniform_over_candidates() const override { return true; }
 };
 
 class FirstSlotRule final : public UnvisitedEdgeRule {

@@ -26,24 +26,4 @@ void SimpleRandomWalk::step(Rng& rng) {
   cover_.visit_vertex(current_, steps_);
 }
 
-bool SimpleRandomWalk::run_until_vertex_cover(Rng& rng, std::uint64_t max_steps) {
-  while (!cover_.all_vertices_covered() && steps_ < max_steps) step(rng);
-  return cover_.all_vertices_covered();
-}
-
-bool SimpleRandomWalk::run_until_edge_cover(Rng& rng, std::uint64_t max_steps) {
-  while (!cover_.all_edges_covered() && steps_ < max_steps) step(rng);
-  return cover_.all_edges_covered();
-}
-
-bool SimpleRandomWalk::run_until_visit_count(Rng& rng, std::uint32_t count,
-                                             std::uint64_t max_steps) {
-  while (cover_.min_visit_count() < count && steps_ < max_steps) {
-    // min_visit_count is O(n); check it only every n steps.
-    const std::uint64_t burst = g_->num_vertices();
-    for (std::uint64_t i = 0; i < burst && steps_ < max_steps; ++i) step(rng);
-  }
-  return cover_.min_visit_count() >= count;
-}
-
 }  // namespace ewalk

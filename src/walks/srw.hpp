@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "engine/process.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 #include "walks/cover_state.hpp"
@@ -18,25 +19,19 @@ struct SrwOptions {
   bool lazy = false;  ///< stay put with probability 1/2 before each move
 };
 
-class SimpleRandomWalk {
+class SimpleRandomWalk final : public WalkProcess {
  public:
   SimpleRandomWalk(const Graph& g, Vertex start, SrwOptions options = {});
 
-  /// One transition (a lazy hold still counts as a step).
-  void step(Rng& rng);
+  /// One transition (a lazy hold still counts as a step). Drive to a
+  /// termination condition with the engine driver (engine/driver.hpp).
+  void step(Rng& rng) override;
 
-  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
-  bool run_until_edge_cover(Rng& rng, std::uint64_t max_steps);
-
-  /// Runs until every vertex has been visited at least `count` times (used
-  /// for blanket-style bounds: d(v) visits force all incident edges red in
-  /// the E-process edge-cover argument, eq. (4)). Returns true on success.
-  bool run_until_visit_count(Rng& rng, std::uint32_t count, std::uint64_t max_steps);
-
-  Vertex current() const { return current_; }
-  std::uint64_t steps() const { return steps_; }
-  const Graph& graph() const { return *g_; }
-  const CoverState& cover() const { return cover_; }
+  Vertex current() const override { return current_; }
+  std::uint64_t steps() const override { return steps_; }
+  const Graph& graph() const override { return *g_; }
+  const CoverState& cover() const override { return cover_; }
+  std::string_view name() const override { return options_.lazy ? "lazy-srw" : "srw"; }
 
  private:
   const Graph* g_;

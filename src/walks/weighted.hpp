@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/process.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 #include "walks/cover_state.hpp"
@@ -32,18 +33,19 @@ class AliasTable {
   std::vector<std::uint32_t> alias_;
 };
 
-class WeightedRandomWalk {
+class WeightedRandomWalk final : public WalkProcess {
  public:
   /// `edge_weights` has one positive weight per edge id.
   WeightedRandomWalk(const Graph& g, Vertex start,
                      const std::vector<double>& edge_weights);
 
-  void step(Rng& rng);
-  bool run_until_vertex_cover(Rng& rng, std::uint64_t max_steps);
+  void step(Rng& rng) override;
 
-  Vertex current() const { return current_; }
-  std::uint64_t steps() const { return steps_; }
-  const CoverState& cover() const { return cover_; }
+  Vertex current() const override { return current_; }
+  std::uint64_t steps() const override { return steps_; }
+  const Graph& graph() const override { return *g_; }
+  const CoverState& cover() const override { return cover_; }
+  std::string_view name() const override { return "weighted"; }
 
   /// Stationary probability of v: w(v) / Σ_u w(u), w(v) = Σ incident weights.
   double stationary_probability(Vertex v) const {

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "covertime/exact_cover.hpp"
+#include "engine/driver.hpp"
 #include "graph/generators.hpp"
 #include "walks/eprocess.hpp"
 #include "walks/rules.hpp"
@@ -64,7 +65,7 @@ TEST(ExactSrw, MatchesMonteCarlo) {
   double acc = 0;
   for (int t = 0; t < kTrials; ++t) {
     SimpleRandomWalk walk(g, 0);
-    walk.run_until_vertex_cover(rng, 1u << 22);
+    run_until_vertex_cover(walk, rng, 1u << 22);
     acc += static_cast<double>(walk.cover().vertex_cover_step());
   }
   const double mc = acc / kTrials;
@@ -142,7 +143,7 @@ TEST(ExactEProcess, MatchesMonteCarlo) {
     for (int t = 0; t < kTrials; ++t) {
       UniformRule rule;
       EProcess walk(g, 0, rule);
-      walk.run_until_edge_cover(rng, 1u << 22);
+      run_until_edge_cover(walk, rng, 1u << 22);
       acc_v += static_cast<double>(walk.cover().vertex_cover_step());
       acc_e += static_cast<double>(walk.cover().edge_cover_step());
     }
@@ -166,7 +167,7 @@ TEST(ExactEProcess, MultigraphWithLoop) {
   for (int t = 0; t < kTrials; ++t) {
     UniformRule rule;
     EProcess walk(g, 0, rule);
-    walk.run_until_edge_cover(rng, 1u << 20);
+    run_until_edge_cover(walk, rng, 1u << 20);
     acc += static_cast<double>(walk.cover().edge_cover_step());
   }
   EXPECT_NEAR(acc / kTrials, exact_e, exact_e * 0.02);

@@ -3,173 +3,58 @@
 // experiments without writing C++.
 //
 // Usage:
-//   ewalk --graph <family> [graph params] --walk <process> [--trials N]
-//         [--seed S] [--target vertices|edges] [--start V] [--csv out.csv]
+//   ewalk --graph <family> [graph params] --walk <process> [walk params]
+//         [--trials N] [--seed S] [--target vertices|edges] [--start V]
+//         [--max-steps B] [--csv out.csv] [--profile]
 //
-// Graph families (params):
-//   regular      --n --r           random r-regular (Steger–Wormald)
-//   hamunion     --n --k           union of k random Hamiltonian cycles
-//   cycle        --n
-//   complete     --n
-//   hypercube    --r
-//   torus        --w --h
-//   grid         --w --h
-//   geometric    --n --radius
-//   erdosrenyi   --n --p
-//   lps          --p --q           Lubotzky–Phillips–Sarnak X^{p,q}
-//   margulis     --k               Margulis-type expander on k x k
-//   circulant    --n --offsets a,b,c
-//   lollipop     --clique --tail
-//   petersen
-//   file         --path <edge list written by write_edge_list>
-//
-// Walks:
-//   eprocess [--rule uniform|first|last|roundrobin|adversary|greedy|priority]
-//   srw [--lazy]      rotor      rwc --d N      vertexwalk
-//   leastused         oldest     weighted (unit weights)
+// Graph families and walk processes are dispatched through the engine
+// registries (src/engine/registry.hpp); `ewalk --help` lists every
+// registered name with its parameters — the list below is generated, not
+// hard-coded, so registering a new process or family updates it
+// automatically.
 //
 // Examples:
 //   ewalk --graph regular --n 100000 --r 4 --walk eprocess
 //   ewalk --graph lps --p 5 --q 29 --walk eprocess --target edges
 //   ewalk --graph torus --w 200 --h 200 --walk rwc --d 2 --trials 10
+//   ewalk --graph hamunion --n 50000 --k 3 --walk multi-eprocess --walkers 8
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "analysis/profile.hpp"
-#include "covertime/experiment.hpp"
+#include "engine/budget.hpp"
+#include "engine/driver.hpp"
+#include "engine/params.hpp"
+#include "engine/registry.hpp"
 #include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
-#include "graph/lps.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
-#include "walks/choice.hpp"
-#include "walks/eprocess.hpp"
-#include "walks/locally_fair.hpp"
-#include "walks/rotor.hpp"
-#include "walks/rules.hpp"
-#include "walks/srw.hpp"
-#include "walks/vertex_process.hpp"
-#include "walks/weighted.hpp"
 
 namespace {
 
 using namespace ewalk;
 
-Graph build_graph(const Cli& cli, Rng& rng) {
-  const std::string family = cli.get("graph", "regular");
-  const Vertex n = static_cast<Vertex>(cli.get_int("n", 10000));
-  if (family == "regular")
-    return random_regular_connected(n, static_cast<std::uint32_t>(cli.get_int("r", 4)), rng);
-  if (family == "hamunion")
-    return hamiltonian_cycle_union(n, static_cast<std::uint32_t>(cli.get_int("k", 2)), rng);
-  if (family == "cycle") return cycle_graph(n);
-  if (family == "complete") return complete_graph(n);
-  if (family == "hypercube") return hypercube(static_cast<std::uint32_t>(cli.get_int("r", 10)));
-  if (family == "torus")
-    return torus_2d(static_cast<Vertex>(cli.get_int("w", 100)),
-                    static_cast<Vertex>(cli.get_int("h", 100)));
-  if (family == "grid")
-    return grid_2d(static_cast<Vertex>(cli.get_int("w", 100)),
-                   static_cast<Vertex>(cli.get_int("h", 100)));
-  if (family == "geometric")
-    return random_geometric(n, cli.get_double("radius", 0.03), rng);
-  if (family == "erdosrenyi") return erdos_renyi(n, cli.get_double("p", 0.001), rng);
-  if (family == "lps")
-    return lps_graph({static_cast<std::uint32_t>(cli.get_int("p", 5)),
-                      static_cast<std::uint32_t>(cli.get_int("q", 13))});
-  if (family == "margulis")
-    return margulis_expander(static_cast<Vertex>(cli.get_int("k", 100)));
-  if (family == "circulant") {
-    std::vector<std::uint32_t> offsets;
-    std::string spec = cli.get("offsets", "1,2");
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-      const std::size_t comma = spec.find(',', pos);
-      offsets.push_back(static_cast<std::uint32_t>(
-          std::stoul(spec.substr(pos, comma - pos))));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-    return circulant(n, offsets);
-  }
-  if (family == "lollipop")
-    return lollipop(static_cast<Vertex>(cli.get_int("clique", 50)),
-                    static_cast<Vertex>(cli.get_int("tail", 50)));
-  if (family == "petersen") return petersen_graph();
-  if (family == "file") return read_edge_list_file(cli.get("path", "graph.txt"));
-  throw std::invalid_argument("unknown --graph family: " + family);
-}
-
-std::unique_ptr<UnvisitedEdgeRule> build_rule(const Cli& cli, const Graph& g, Rng& rng) {
-  const std::string rule = cli.get("rule", "uniform");
-  if (rule == "uniform") return std::make_unique<UniformRule>();
-  if (rule == "first") return std::make_unique<FirstSlotRule>();
-  if (rule == "last") return std::make_unique<LastSlotRule>();
-  if (rule == "roundrobin") return std::make_unique<RoundRobinRule>(g.num_vertices());
-  if (rule == "adversary") return std::make_unique<PreferVisitedEndpointRule>();
-  if (rule == "greedy") return std::make_unique<PreferUnvisitedEndpointRule>();
-  if (rule == "priority") return std::make_unique<FixedPriorityRule>(g.num_edges(), rng);
-  throw std::invalid_argument("unknown --rule: " + rule);
-}
-
-struct TrialOutcome {
-  double cover_step;
-  double total_steps;
-};
-
-TrialOutcome run_walk(const Cli& cli, const Graph& g, Rng& rng, bool edges) {
-  const std::string walk = cli.get("walk", "eprocess");
-  const Vertex start = static_cast<Vertex>(cli.get_int("start", 0));
-  const std::uint64_t budget = cli.get_u64("max-steps", 1ull << 42);
-  const auto result = [&](const auto& w) {
-    return TrialOutcome{
-        static_cast<double>(edges ? w.cover().edge_cover_step()
-                                  : w.cover().vertex_cover_step()),
-        static_cast<double>(w.steps())};
-  };
-
-  if (walk == "eprocess") {
-    auto rule = build_rule(cli, g, rng);
-    EProcess w(g, start, *rule);
-    edges ? w.run_until_edge_cover(rng, budget) : w.run_until_vertex_cover(rng, budget);
-    return result(w);
-  }
-  if (walk == "srw") {
-    SimpleRandomWalk w(g, start, SrwOptions{.lazy = cli.get_bool("lazy", false)});
-    edges ? w.run_until_edge_cover(rng, budget) : w.run_until_vertex_cover(rng, budget);
-    return result(w);
-  }
-  if (walk == "rotor") {
-    RotorRouter w(g, start);
-    edges ? w.run_until_edge_cover(budget) : w.run_until_vertex_cover(budget);
-    return result(w);
-  }
-  if (walk == "rwc") {
-    RandomWalkWithChoice w(g, start, static_cast<std::uint32_t>(cli.get_int("d", 2)));
-    w.run_until_vertex_cover(rng, budget);
-    return result(w);
-  }
-  if (walk == "vertexwalk") {
-    UnvisitedVertexWalk w(g, start);
-    w.run_until_vertex_cover(rng, budget);
-    return result(w);
-  }
-  if (walk == "leastused" || walk == "oldest") {
-    LocallyFairWalk w(g, start,
-                      walk == "leastused" ? FairnessCriterion::kLeastUsedFirst
-                                          : FairnessCriterion::kOldestFirst);
-    edges ? w.run_until_edge_cover(budget) : w.run_until_vertex_cover(budget);
-    return result(w);
-  }
-  if (walk == "weighted") {
-    WeightedRandomWalk w(g, start, std::vector<double>(g.num_edges(), 1.0));
-    w.run_until_vertex_cover(rng, budget);
-    return result(w);
-  }
-  throw std::invalid_argument("unknown --walk: " + walk);
+void print_help() {
+  std::printf(
+      "ewalk — run any registered walk process on any graph family\n\n"
+      "usage: ewalk --graph <family> [graph params] --walk <process> [walk params]\n"
+      "             [--trials N] [--seed S] [--target vertices|edges]\n"
+      "             [--max-steps B] [--csv out.csv] [--profile]\n\n");
+  std::printf("graph families (--graph):\n");
+  for (const auto& e : GeneratorRegistry::instance().entries())
+    std::printf("  %-12s %-22s %s\n", e.name.c_str(), e.params_help.c_str(),
+                e.summary.c_str());
+  std::printf("\nwalk processes (--walk):\n");
+  for (const auto& e : ProcessRegistry::instance().entries())
+    std::printf("  %-15s %-34s %s\n", e.name.c_str(), e.params_help.c_str(),
+                e.summary.c_str());
+  std::printf("\nE-process rules (--rule):");
+  for (const auto& r : rule_names()) std::printf(" %s", r.c_str());
+  std::printf(
+      "\n\nWhen --max-steps is absent the engine's default_step_budget(g)\n"
+      "heuristic bounds each trial (see src/engine/budget.hpp).\n");
 }
 
 }  // namespace
@@ -177,14 +62,18 @@ TrialOutcome run_walk(const Cli& cli, const Graph& g, Rng& rng, bool edges) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   if (cli.has("help")) {
-    std::printf("see the header comment of tools/ewalk_cli.cpp for usage\n");
+    print_help();
     return 0;
   }
   try {
     const std::uint32_t trials = static_cast<std::uint32_t>(cli.get_int("trials", 5));
     const bool edges = cli.get("target", "vertices") == "edges";
+    const std::string family = cli.get("graph", "regular");
+    const std::string process = cli.get("walk", "eprocess");
+    const ParamMap& params = cli.params();
+
     Rng graph_rng(cli.get_u64("seed", 1));
-    const Graph g = build_graph(cli, graph_rng);
+    const Graph g = GeneratorRegistry::instance().create(family, params, graph_rng);
 
     std::printf("graph: n=%u m=%u min_deg=%u max_deg=%u even=%s connected=%s\n",
                 g.num_vertices(), g.num_edges(), g.min_degree(), g.max_degree(),
@@ -197,12 +86,23 @@ int main(int argc, char** argv) {
       std::printf("%s", format_profile(profile_graph(g, popts)).c_str());
     }
 
+    const std::uint64_t budget = cli.get_u64("max-steps", default_step_budget(g));
     std::vector<double> covers, steps;
+    std::uint32_t uncovered = 0;
     for (std::uint32_t t = 0; t < trials; ++t) {
       Rng rng(cli.get_u64("seed", 1) * 733 + t);
-      const auto outcome = run_walk(cli, g, rng, edges);
-      covers.push_back(outcome.cover_step);
-      steps.push_back(outcome.total_steps);
+      auto walk = ProcessRegistry::instance().create(process, g, params, rng);
+      bool done;
+      if (edges)
+        done = run_until(*walk, rng, EdgesCovered{}, budget);
+      else
+        done = run_until(*walk, rng, VertexCovered{}, budget);
+      if (!done) ++uncovered;
+      const std::uint64_t cover_step = edges ? walk->cover().edge_cover_step()
+                                             : walk->cover().vertex_cover_step();
+      // Uncovered trials contribute the budget, as measure_cover does.
+      covers.push_back(static_cast<double>(done ? cover_step : budget));
+      steps.push_back(static_cast<double>(walk->steps()));
     }
     const auto stats = summarize(covers);
     std::printf("%s cover time over %u trials:\n", edges ? "edge" : "vertex", trials);
@@ -212,6 +112,11 @@ int main(int argc, char** argv) {
                 stats.min, stats.max);
     std::printf("  normalised: /n = %.3f   /m = %.3f\n",
                 stats.mean / g.num_vertices(), stats.mean / g.num_edges());
+    if (uncovered > 0)
+      std::printf("  WARNING: %u/%u trials did not cover within %llu steps;\n"
+                  "  their samples (and the statistics above) are clamped to the\n"
+                  "  budget — raise --max-steps for true cover times\n",
+                  uncovered, trials, static_cast<unsigned long long>(budget));
 
     if (cli.has("csv")) {
       CsvWriter csv(cli.get("csv", "ewalk.csv"), {"trial", "cover_step", "total_steps"});
