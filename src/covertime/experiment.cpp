@@ -82,6 +82,44 @@ CoverExperimentResult measure_cover(const ProcessFactory& processes,
   return out;
 }
 
+CoalescenceExperimentResult measure_coalescence(
+    const TokenProcessFactory& processes, const GraphFactory& graphs,
+    const CoalescenceExperimentConfig& config) {
+  std::atomic<std::uint32_t> unfinished{0};
+  std::vector<double> meetings(config.trials, 0.0);
+  auto samples = run_trials(
+      config.trials, config.threads, config.master_seed,
+      [&](Rng& rng, std::uint32_t trial) -> double {
+        const Graph g = graphs(rng);
+        auto process = processes(g, rng);
+        const std::uint64_t budget =
+            config.max_steps != 0 ? config.max_steps : default_step_budget(g);
+        const bool done = run_until_process(
+            *process, rng, TokensAtMost{config.target_tokens}, budget);
+        const std::uint64_t met = process->first_meeting_step();
+        meetings[trial] =
+            static_cast<double>(met != kNotCovered ? met : budget);
+        if (!done) {
+          unfinished.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<double>(budget);
+        }
+        // With stride 1 the driver stops on the first step the population
+        // hits the target; for target 1 the recorded coalescence step is
+        // that same step.
+        return static_cast<double>(config.target_tokens <= 1
+                                       ? process->coalescence_step()
+                                       : process->steps());
+      });
+
+  CoalescenceExperimentResult out;
+  out.samples = std::move(samples);
+  out.stats = summarize(out.samples);
+  out.meeting_samples = std::move(meetings);
+  out.meeting_stats = summarize(out.meeting_samples);
+  out.unfinished_trials = unfinished.load();
+  return out;
+}
+
 CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
                                              const RuleFactory& rules,
                                              const CoverExperimentConfig& config) {

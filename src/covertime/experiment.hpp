@@ -8,7 +8,10 @@
 //   * measure_cover — the one cover-time experiment: any WalkProcess
 //     factory, any graph factory, vertex or edge target;
 //   * measure_eprocess_cover / measure_srw_cover — thin wrappers over
-//     measure_cover for the two walks the paper benchmarks head-to-head.
+//     measure_cover for the two walks the paper benchmarks head-to-head;
+//   * measure_coalescence — the interacting-walker mirror of measure_cover:
+//     any TokenProcess factory, driven to a token-population target,
+//     reporting coalescence and first-meeting times.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "engine/process.hpp"
+#include "engine/token_process.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -88,5 +92,40 @@ CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
 /// Same, for the simple random walk.
 CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
                                         const CoverExperimentConfig& config);
+
+// ---- Coalescence experiments (interacting walkers) ------------------------
+
+/// Factory producing a fresh interacting-token process per trial; the rng is
+/// the trial's private stream, exactly as for ProcessFactory.
+using TokenProcessFactory =
+    std::function<std::unique_ptr<TokenProcess>(const Graph&, Rng&)>;
+
+struct CoalescenceExperimentConfig {
+  std::uint32_t trials = 5;
+  std::uint32_t threads = 0;        ///< 0 = hardware concurrency
+  std::uint64_t master_seed = 1;
+  std::uint64_t max_steps = 0;      ///< 0 = default_step_budget(g)
+  std::uint32_t target_tokens = 1;  ///< stop once population <= this
+};
+
+/// Coalescence-time samples over `trials` fresh (graph, process) pairs.
+/// Trials whose population fails to reach the target within max_steps
+/// contribute max_steps (and are counted in `unfinished_trials`); trials
+/// where no pair of tokens ever met contribute max_steps to the meeting
+/// samples likewise.
+struct CoalescenceExperimentResult {
+  SummaryStats stats;                    ///< step population reached target
+  std::vector<double> samples;           ///< one per trial, trial order
+  SummaryStats meeting_stats;            ///< first-meeting step
+  std::vector<double> meeting_samples;   ///< one per trial, trial order
+  std::uint32_t unfinished_trials = 0;
+};
+
+/// The interacting-walker mirror of measure_cover: a fresh graph and token
+/// process per trial, driven by the engine's run_until_process to the
+/// population target.
+CoalescenceExperimentResult measure_coalescence(
+    const TokenProcessFactory& processes, const GraphFactory& graphs,
+    const CoalescenceExperimentConfig& config);
 
 }  // namespace ewalk

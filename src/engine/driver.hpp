@@ -92,21 +92,36 @@ inline std::uint64_t visit_count_stride(const Graph& g) {
 
 // ---- The generic driver ---------------------------------------------------
 
-/// Runs `process` until `predicate(process.cover())` holds or `max_steps`
-/// total transitions have been made (the step budget counts *all* steps of
-/// the process's lifetime, matching the legacy member loops). The predicate
-/// is evaluated every `check_stride` transitions (1 = every step). Returns
-/// true iff the predicate holds on exit.
+/// The fundamental driver: runs `process` until `predicate(process)` holds
+/// or `max_steps` total transitions have been made (the step budget counts
+/// *all* steps of the process's lifetime, matching the legacy member
+/// loops). The predicate is evaluated every `check_stride` transitions
+/// (1 = every step); it sees the whole process, which is what the
+/// token-population predicates (CoalescedToOne, TokensAtMost, TokensHaveMet
+/// — engine/token_process.hpp) need. RNG discipline: exactly one step()
+/// call per transition, nothing drawn by the driver itself. Returns true
+/// iff the predicate holds on exit.
 template <typename Process, typename Predicate>
-bool run_until(Process& process, Rng& rng, Predicate predicate,
-               std::uint64_t max_steps, std::uint64_t check_stride = 1) {
+bool run_until_process(Process& process, Rng& rng, Predicate predicate,
+                       std::uint64_t max_steps, std::uint64_t check_stride = 1) {
   for (;;) {
-    if (predicate(process.cover())) return true;
+    if (predicate(process)) return true;
     if (process.steps() >= max_steps) return false;
     const std::uint64_t remaining = max_steps - process.steps();
     const std::uint64_t burst = std::min(check_stride, remaining);
     for (std::uint64_t i = 0; i < burst; ++i) process.step(rng);
   }
+}
+
+/// Runs `process` until `predicate(process.cover())` holds — the cover-state
+/// view of run_until_process, which the cover predicates above compose over.
+template <typename Process, typename Predicate>
+bool run_until(Process& process, Rng& rng, Predicate predicate,
+               std::uint64_t max_steps, std::uint64_t check_stride = 1) {
+  return run_until_process(
+      process, rng,
+      [&predicate](const Process& p) { return predicate(p.cover()); },
+      max_steps, check_stride);
 }
 
 /// True for processes that advance without randomness (they expose a no-arg

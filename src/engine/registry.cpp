@@ -7,6 +7,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/lps.hpp"
+#include "interact/coalescing.hpp"
+#include "interact/herman.hpp"
+#include "interact/token_system.hpp"
 #include "walks/choice.hpp"
 #include "walks/locally_fair.hpp"
 #include "walks/rotor.hpp"
@@ -52,14 +55,12 @@ void register_builtin_processes(ProcessRegistry& r) {
           const std::uint32_t k =
               static_cast<std::uint32_t>(p.get_u64("walkers", 2));
           if (k == 0) throw std::invalid_argument("--walkers must be >= 1");
-          const Vertex base = start_vertex(g, p);
-          const Vertex n = g.num_vertices();
-          std::vector<Vertex> starts(k);
-          for (std::uint32_t i = 0; i < k; ++i)
-            starts[i] = static_cast<Vertex>(
-                (base + static_cast<std::uint64_t>(i) * n / k) % n);
+          // Walkers don't interact, so duplicate starts (k > n) are fine.
           return std::make_unique<MultiEProcessHandle>(
-              g, std::move(starts), make_rule(p.get("rule", "uniform"), g, rng));
+              g,
+              spread_token_starts(g.num_vertices(), k, start_vertex(g, p),
+                                  /*distinct=*/false),
+              make_rule(p.get("rule", "uniform"), g, rng));
         });
   r.add("srw", "[--lazy] [--start V]", "simple random walk (baseline)",
         [](const Graph& g, const ParamMap& p, Rng&) -> std::unique_ptr<WalkProcess> {
@@ -103,6 +104,31 @@ void register_builtin_processes(ProcessRegistry& r) {
         [](const Graph& g, const ParamMap& p, Rng&) -> std::unique_ptr<WalkProcess> {
           return std::make_unique<WeightedRandomWalk>(
               g, start_vertex(g, p), std::vector<double>(g.num_edges(), 1.0));
+        });
+  r.add("coalescing-srw", "[--tokens K] [--start V]",
+        "K independent SRW tokens merging on vertex collision",
+        [](const Graph& g, const ParamMap& p, Rng&) -> std::unique_ptr<WalkProcess> {
+          const std::uint32_t k =
+              static_cast<std::uint32_t>(p.get_u64("tokens", 2));
+          return std::make_unique<CoalescingRW>(
+              g, spread_token_starts(g.num_vertices(), k, start_vertex(g, p)));
+        });
+  r.add("coalescing-ewalk", "[--tokens K] [--rule R] [--start V]",
+        "K unvisited-edge-preferring tokens merging on collision",
+        [](const Graph& g, const ParamMap& p, Rng& rng) -> std::unique_ptr<WalkProcess> {
+          const std::uint32_t k =
+              static_cast<std::uint32_t>(p.get_u64("tokens", 2));
+          return std::make_unique<CoalescingEWalk>(
+              g, spread_token_starts(g.num_vertices(), k, start_vertex(g, p)),
+              make_rule(p.get("rule", "uniform"), g, rng));
+        });
+  r.add("herman", "[--tokens K odd] [--start V]",
+        "Herman's protocol: odd tokens on a cycle, pairwise annihilation",
+        [](const Graph& g, const ParamMap& p, Rng&) -> std::unique_ptr<WalkProcess> {
+          const std::uint32_t k =
+              static_cast<std::uint32_t>(p.get_u64("tokens", 3));
+          return std::make_unique<HermanRing>(
+              g, spread_token_starts(g.num_vertices(), k, start_vertex(g, p)));
         });
 }
 

@@ -117,7 +117,7 @@ class ProcessRegistry : public detail::NamedRegistry<RegistryProcessFactory> {
   }
 
  private:
-  ProcessRegistry() : NamedRegistry("--walk") {}
+  ProcessRegistry() : NamedRegistry("--process") {}
 };
 
 using GraphGeneratorFactory =

@@ -1,0 +1,42 @@
+// Rule dispatch over a BluePartition: the one blue-step chooser shared by
+// EProcess, MultiEProcess, and CoalescingEWalk.
+//
+// Rules that declare themselves uniform take the O(1) fast path — sampling
+// a position directly through the partition with the identical rng draw
+// (uniform(blue_count)) the span path's UniformRule would make, so both
+// paths produce the same walk bit-for-bit. Everything else gets the blue
+// candidate span materialised into the caller's scratch vector plus a
+// read-only view of the walk state.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walks/blue_partition.hpp"
+#include "walks/cover_state.hpp"
+#include "walks/eprocess.hpp"
+
+namespace ewalk {
+
+/// Chooses among the blue slots of v (blue_count(v) >= 1 required).
+inline Slot choose_blue_slot(const BluePartition& blue, const Graph& g,
+                             Vertex v, UnvisitedEdgeRule& rule,
+                             const CoverState& cover, std::uint64_t steps,
+                             std::vector<Slot>& scratch, Rng& rng) {
+  const std::uint32_t b = blue.blue_count(v);
+  if (rule.uniform_over_candidates()) {
+    const std::uint32_t p = static_cast<std::uint32_t>(rng.uniform(b));
+    return blue.blue_slot(g, v, p);
+  }
+  blue.fill_candidates(g, v, scratch);
+  const EProcessView view(g, cover, steps);
+  const std::uint32_t idx = rule.choose(view, v, scratch, rng);
+  if (idx >= b)
+    throw std::logic_error("UnvisitedEdgeRule returned out-of-range index");
+  return scratch[idx];
+}
+
+}  // namespace ewalk

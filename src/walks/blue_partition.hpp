@@ -1,0 +1,88 @@
+// The blue-prefix partition: O(1) access to the unvisited ("blue") incident
+// edges of every vertex.
+//
+// order_[slot_offset(v) + p] is the local slot index (0..deg-1) occupying
+// position p of v's region; positions < blue_count(v) are blue. Marking an
+// edge visited swaps its slot out of the prefix at both endpoints (twice at
+// the same vertex for a self-loop, which occupies two slots).
+//
+// This is the state every unvisited-edge-preferring process shares —
+// EProcess, MultiEProcess, CoalescingEWalk — extracted here so the eviction
+// subtleties live in one place. The companion choose_blue_slot helper
+// (blue_choice.hpp) implements the rule dispatch with the uniform-rule
+// O(1) fast path on top of it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ewalk {
+
+class BluePartition {
+ public:
+  /// All edges start blue.
+  explicit BluePartition(const Graph& g)
+      : order_(2 * static_cast<std::size_t>(g.num_edges())),
+        blue_count_(g.num_vertices()) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const std::uint32_t off = g.slot_offset(v);
+      const std::uint32_t d = g.degree(v);
+      blue_count_[v] = d;
+      for (std::uint32_t k = 0; k < d; ++k) order_[off + k] = k;
+    }
+  }
+
+  /// Number of blue edges incident with v right now.
+  std::uint32_t blue_count(Vertex v) const { return blue_count_[v]; }
+
+  /// The blue slot at position p of v's prefix, 0 <= p < blue_count(v).
+  Slot blue_slot(const Graph& g, Vertex v, std::uint32_t p) const {
+    return g.slot(v, order_[g.slot_offset(v) + p]);
+  }
+
+  /// Copies v's blue slots into `out` (cleared first) — the candidate span
+  /// handed to non-uniform rules.
+  void fill_candidates(const Graph& g, Vertex v, std::vector<Slot>& out) const {
+    out.clear();
+    const std::uint32_t b = blue_count_[v];
+    for (std::uint32_t p = 0; p < b; ++p) out.push_back(blue_slot(g, v, p));
+  }
+
+  /// Evicts e from the blue prefix of each endpoint with an O(1) swap. The
+  /// edge occurs exactly once in each endpoint's slots — twice at the same
+  /// vertex for a self-loop. Precondition: e is blue.
+  void mark_edge_visited(const Graph& g, EdgeId e) {
+    const auto [u, v] = g.endpoints(e);
+    const bool at_u = evict(g, u, e);
+    assert(at_u);
+    (void)at_u;
+    const bool other = evict(g, u == v ? u : v, e);
+    assert(other);
+    (void)other;
+  }
+
+ private:
+  bool evict(const Graph& g, Vertex owner, EdgeId edge) {
+    const std::uint32_t off = g.slot_offset(owner);
+    const std::uint32_t b = blue_count_[owner];
+    for (std::uint32_t p = 0; p < b; ++p) {
+      const std::uint32_t k = order_[off + p];
+      if (g.slot(owner, k).edge == edge) {
+        const std::uint32_t last = b - 1;
+        order_[off + p] = order_[off + last];
+        order_[off + last] = k;
+        blue_count_[owner] = last;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> blue_count_;
+};
+
+}  // namespace ewalk

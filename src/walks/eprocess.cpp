@@ -1,64 +1,19 @@
 #include "walks/eprocess.hpp"
 
-#include <cassert>
-#include <limits>
 #include <stdexcept>
+
+#include "walks/blue_choice.hpp"
 
 namespace ewalk {
 
 EProcess::EProcess(const Graph& g, Vertex start, UnvisitedEdgeRule& rule,
                    EProcessOptions options)
     : g_(&g), rule_(&rule), options_(options), start_(start), current_(start),
-      cover_(g.num_vertices(), g.num_edges()) {
+      cover_(g.num_vertices(), g.num_edges()), blue_(g) {
   if (start >= g.num_vertices())
     throw std::invalid_argument("EProcess: start vertex out of range");
-
-  const std::size_t total_slots = 2 * static_cast<std::size_t>(g.num_edges());
-  order_.resize(total_slots);
-  blue_count_.resize(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    const std::uint32_t off = g.slot_offset(v);
-    const std::uint32_t d = g.degree(v);
-    blue_count_[v] = d;
-    for (std::uint32_t k = 0; k < d; ++k) order_[off + k] = k;
-  }
   scratch_candidates_.reserve(g.max_degree());
   cover_.visit_vertex(start, 0);
-}
-
-void EProcess::mark_edge_visited(EdgeId e) {
-  const auto [u, v] = g_->endpoints(e);
-  // Locate and evict e's slot from each endpoint's blue prefix. The edge
-  // occurs exactly once in each endpoint's slots (twice at u for a loop).
-  const auto evict = [this](Vertex owner, EdgeId edge) {
-    const std::uint32_t off = g_->slot_offset(owner);
-    const std::uint32_t b = blue_count_[owner];
-    // Find edge within the blue prefix (it must be blue when this is called).
-    for (std::uint32_t p = 0; p < b; ++p) {
-      const std::uint32_t k = order_[off + p];
-      if (g_->slot(owner, k).edge == edge) {
-        const std::uint32_t last = b - 1;
-        order_[off + p] = order_[off + last];
-        order_[off + last] = k;
-        blue_count_[owner] = last;
-        return true;
-      }
-    }
-    return false;
-  };
-  const bool at_u = evict(u, e);
-  assert(at_u);
-  (void)at_u;
-  if (u == v) {
-    // Self-loop: second occurrence at the same vertex.
-    const bool again = evict(u, e);
-    assert(again);
-    (void)again;
-  } else {
-    const bool at_v = evict(v, e);
-    assert(at_v);
-    (void)at_v;
-  }
 }
 
 void EProcess::note_transition(StepColor color, Vertex from, Vertex to) {
@@ -76,27 +31,10 @@ StepColor EProcess::step(Rng& rng) {
   ++steps_;
   StepColor color;
   Vertex to;
-  if (blue_count_[v] > 0) {
-    const std::uint32_t off = g_->slot_offset(v);
-    const std::uint32_t b = blue_count_[v];
-    Slot chosen;
-    if (rule_->uniform_over_candidates()) {
-      // Fast path: the rule is a single uniform draw over the candidates, so
-      // sample the position directly through the blue-prefix partition —
-      // same rng draw (uniform(b)), same chosen slot, no O(Δ) materialise.
-      const std::uint32_t p = static_cast<std::uint32_t>(rng.uniform(b));
-      chosen = g_->slot(v, order_[off + p]);
-    } else {
-      scratch_candidates_.clear();
-      for (std::uint32_t p = 0; p < b; ++p)
-        scratch_candidates_.push_back(g_->slot(v, order_[off + p]));
-
-      const EProcessView view(*g_, cover_, steps_);
-      std::uint32_t idx = rule_->choose(view, v, scratch_candidates_, rng);
-      if (idx >= b) throw std::logic_error("UnvisitedEdgeRule returned out-of-range index");
-      chosen = scratch_candidates_[idx];
-    }
-    mark_edge_visited(chosen.edge);
+  if (blue_.blue_count(v) > 0) {
+    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, cover_, steps_,
+                                         scratch_candidates_, rng);
+    blue_.mark_edge_visited(*g_, chosen.edge);
     cover_.visit_edge(chosen.edge, steps_);
     to = chosen.neighbor;
     color = StepColor::kBlue;

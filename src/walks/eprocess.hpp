@@ -9,11 +9,12 @@
 //
 // Implementation notes:
 //  * Per-vertex incident slots are kept partitioned blue-prefix/red-suffix
-//    with an O(1) swap on every edge visit, so a red step is O(1). A blue
-//    step is O(Δ) only for rules that inspect the candidate span; rules
-//    that declare themselves uniform (UniformRule) take an O(1) fast path
-//    that samples an index directly through the order_ partition — with the
-//    identical rng draw, so both paths produce the same walk.
+//    (walks/blue_partition.hpp) with an O(1) swap on every edge visit, so a
+//    red step is O(1). A blue step is O(Δ) only for rules that inspect the
+//    candidate span; rules that declare themselves uniform (UniformRule)
+//    take an O(1) fast path that samples an index directly through the
+//    partition — with the identical rng draw, so both paths produce the
+//    same walk (walks/blue_choice.hpp).
 //  * The walk distinguishes blue and red transitions, exposing t_R and t_B
 //    (Observation 12: t = t_R + t_B with t_B <= m), and can record maximal
 //    blue/red phases for invariant checking (Observation 10: on even-degree
@@ -27,6 +28,7 @@
 
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
+#include "walks/blue_partition.hpp"
 #include "walks/cover_state.hpp"
 
 namespace ewalk {
@@ -103,14 +105,13 @@ class EProcess {
   const CoverState& cover() const { return cover_; }
 
   /// Number of blue (unvisited) edges incident with v right now.
-  std::uint32_t blue_degree(Vertex v) const { return blue_count_[v]; }
+  std::uint32_t blue_degree(Vertex v) const { return blue_.blue_count(v); }
 
   /// Phase log (empty unless options.record_phases). The currently open
   /// phase is included with its running end.
   const std::vector<Phase>& phases() const { return phases_; }
 
  private:
-  void mark_edge_visited(EdgeId e);
   void note_transition(StepColor color, Vertex from, Vertex to);
 
   const Graph* g_;
@@ -122,14 +123,7 @@ class EProcess {
   std::uint64_t red_steps_ = 0;
   std::uint64_t blue_steps_ = 0;
   CoverState cover_;
-
-  // Blue-prefix partition: order_[slot_offset(v) + p] is the local slot
-  // index (0..deg-1) occupying position p of v's region. Positions
-  // < blue_count_[v] are blue; marking an edge visited swaps its slot out
-  // of the prefix at both endpoints.
-  std::vector<std::uint32_t> order_;
-  std::vector<std::uint32_t> blue_count_;
-
+  BluePartition blue_;
   std::vector<Slot> scratch_candidates_;  // blue slots handed to the rule
   std::vector<Phase> phases_;
 };

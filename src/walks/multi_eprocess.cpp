@@ -1,56 +1,23 @@
 #include "walks/multi_eprocess.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "walks/blue_choice.hpp"
 
 namespace ewalk {
 
 MultiEProcess::MultiEProcess(const Graph& g, std::vector<Vertex> starts,
                              UnvisitedEdgeRule& rule)
     : g_(&g), rule_(&rule), positions_(std::move(starts)),
-      cover_(g.num_vertices(), g.num_edges()) {
+      cover_(g.num_vertices(), g.num_edges()), blue_(g) {
   if (positions_.empty())
     throw std::invalid_argument("MultiEProcess: need at least one walker");
   for (const Vertex v : positions_) {
     if (v >= g.num_vertices())
       throw std::invalid_argument("MultiEProcess: start vertex out of range");
   }
-  const std::size_t total_slots = 2 * static_cast<std::size_t>(g.num_edges());
-  order_.resize(total_slots);
-  blue_count_.resize(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    const std::uint32_t off = g.slot_offset(v);
-    const std::uint32_t d = g.degree(v);
-    blue_count_[v] = d;
-    for (std::uint32_t k = 0; k < d; ++k) order_[off + k] = k;
-  }
   scratch_candidates_.reserve(g.max_degree());
   for (const Vertex v : positions_) cover_.visit_vertex(v, 0);
-}
-
-void MultiEProcess::mark_edge_visited(EdgeId e) {
-  const auto [u, v] = g_->endpoints(e);
-  const auto evict = [this](Vertex owner, EdgeId edge) {
-    const std::uint32_t off = g_->slot_offset(owner);
-    const std::uint32_t b = blue_count_[owner];
-    for (std::uint32_t p = 0; p < b; ++p) {
-      const std::uint32_t k = order_[off + p];
-      if (g_->slot(owner, k).edge == edge) {
-        const std::uint32_t last = b - 1;
-        order_[off + p] = order_[off + last];
-        order_[off + last] = k;
-        blue_count_[owner] = last;
-        return true;
-      }
-    }
-    return false;
-  };
-  const bool at_u = evict(u, e);
-  assert(at_u);
-  (void)at_u;
-  const bool other = evict(u == v ? u : v, e);
-  assert(other);
-  (void)other;
 }
 
 StepColor MultiEProcess::step(Rng& rng) {
@@ -60,24 +27,10 @@ StepColor MultiEProcess::step(Rng& rng) {
   ++steps_;
   StepColor color;
   Vertex to;
-  if (blue_count_[v] > 0) {
-    const std::uint32_t off = g_->slot_offset(v);
-    const std::uint32_t b = blue_count_[v];
-    Slot chosen;
-    if (rule_->uniform_over_candidates()) {
-      // Same O(1) fast path as EProcess::step: identical rng draw, no span.
-      const std::uint32_t p = static_cast<std::uint32_t>(rng.uniform(b));
-      chosen = g_->slot(v, order_[off + p]);
-    } else {
-      scratch_candidates_.clear();
-      for (std::uint32_t p = 0; p < b; ++p)
-        scratch_candidates_.push_back(g_->slot(v, order_[off + p]));
-      const EProcessView view(*g_, cover_, steps_);
-      const std::uint32_t idx = rule_->choose(view, v, scratch_candidates_, rng);
-      if (idx >= b) throw std::logic_error("MultiEProcess: rule returned bad index");
-      chosen = scratch_candidates_[idx];
-    }
-    mark_edge_visited(chosen.edge);
+  if (blue_.blue_count(v) > 0) {
+    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, cover_, steps_,
+                                         scratch_candidates_, rng);
+    blue_.mark_edge_visited(*g_, chosen.edge);
     cover_.visit_edge(chosen.edge, steps_);
     to = chosen.neighbor;
     color = StepColor::kBlue;

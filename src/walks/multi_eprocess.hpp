@@ -17,6 +17,7 @@
 
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
+#include "walks/blue_partition.hpp"
 #include "walks/cover_state.hpp"
 #include "walks/eprocess.hpp"
 
@@ -42,11 +43,9 @@ class MultiEProcess {
   std::uint64_t blue_steps() const { return blue_steps_; }
   std::uint64_t red_steps() const { return red_steps_; }
   const CoverState& cover() const { return cover_; }
-  std::uint32_t blue_degree(Vertex v) const { return blue_count_[v]; }
+  std::uint32_t blue_degree(Vertex v) const { return blue_.blue_count(v); }
 
  private:
-  void mark_edge_visited(EdgeId e);
-
   const Graph* g_;
   UnvisitedEdgeRule* rule_;
   std::vector<Vertex> positions_;
@@ -55,8 +54,7 @@ class MultiEProcess {
   std::uint64_t blue_steps_ = 0;
   std::uint64_t red_steps_ = 0;
   CoverState cover_;
-  std::vector<std::uint32_t> order_;       // blue-prefix partition, as EProcess
-  std::vector<std::uint32_t> blue_count_;
+  BluePartition blue_;
   std::vector<Slot> scratch_candidates_;
 };
 

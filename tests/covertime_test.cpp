@@ -22,6 +22,33 @@ TEST(RunTrials, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial, par8);
 }
 
+TEST(RunTrials, ThreadCountInvarianceWithRealWalks) {
+  // The determinism contract the harness documents: trial i's stream is a
+  // pure function of (master_seed, i), so threads=1 and threads=8 must
+  // return bit-identical vectors — including when trials build graphs and
+  // drive real walks, not just draw from the rng.
+  CoverExperimentConfig config;
+  config.trials = 8;
+  config.master_seed = 4242;
+  const GraphFactory graphs = [](Rng& rng) {
+    return random_regular_connected(80, 4, rng);
+  };
+  const RuleFactory rules = [](const Graph&) {
+    return std::make_unique<UniformRule>();
+  };
+  config.threads = 1;
+  const auto serial = measure_eprocess_cover(graphs, rules, config);
+  config.threads = 8;
+  const auto parallel = measure_eprocess_cover(graphs, rules, config);
+  EXPECT_EQ(serial.samples, parallel.samples);
+
+  config.threads = 1;
+  const auto srw_serial = measure_srw_cover(graphs, config);
+  config.threads = 8;
+  const auto srw_parallel = measure_srw_cover(graphs, config);
+  EXPECT_EQ(srw_serial.samples, srw_parallel.samples);
+}
+
 TEST(RunTrials, TrialIndexPassed) {
   const auto fn = [](Rng&, std::uint32_t idx) -> double { return idx; };
   const auto out = run_trials(5, 3, 1, fn);

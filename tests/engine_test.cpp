@@ -155,12 +155,13 @@ TEST(EngineFastPath, UniformFastPathMatchesSpanPathBitForBit) {
 
 // ---- Registries -------------------------------------------------------------
 
-TEST(ProcessRegistry, RegistersAllTenProcesses) {
+TEST(ProcessRegistry, RegistersAllThirteenProcesses) {
   const auto names = ProcessRegistry::instance().names();
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 13u);
   for (const char* expected :
        {"eprocess", "multi-eprocess", "srw", "lazy-srw", "rotor", "vertexwalk",
-        "rwc", "leastused", "oldest", "weighted"}) {
+        "rwc", "leastused", "oldest", "weighted", "coalescing-srw",
+        "coalescing-ewalk", "herman"}) {
     EXPECT_TRUE(ProcessRegistry::instance().contains(expected)) << expected;
   }
 }
@@ -169,6 +170,8 @@ TEST(ProcessRegistry, EveryRegisteredProcessCoversCycleAndHypercube) {
   for (const Graph& g : {cycle_graph(64), hypercube(4)}) {
     const std::uint64_t budget = default_step_budget(g);
     for (const auto& name : ProcessRegistry::instance().names()) {
+      // Herman's protocol is defined only on cycles.
+      if (name == "herman" && !g.is_regular(2)) continue;
       Rng rng(1000 + g.num_vertices());
       auto walk = ProcessRegistry::instance().create(name, g, ParamMap{}, rng);
       ASSERT_NE(walk, nullptr) << name;

@@ -1,23 +1,29 @@
 // ewalk — command-line driver: run any walk process on any generator and
-// print cover statistics. The "product" face of the library for quick
-// experiments without writing C++.
+// print cover (or coalescence) statistics. The "product" face of the
+// library for quick experiments without writing C++.
 //
 // Usage:
-//   ewalk --graph <family> [graph params] --walk <process> [walk params]
-//         [--trials N] [--seed S] [--target vertices|edges] [--start V]
-//         [--max-steps B] [--csv out.csv] [--profile]
+//   ewalk --graph <family> [graph params] --process <process> [walk params]
+//         [--trials N] [--seed S] [--target vertices|edges|coalescence]
+//         [--start V] [--max-steps B] [--csv out.csv] [--profile]
+//
+// (--walk is accepted as a synonym for --process.)
 //
 // Graph families and walk processes are dispatched through the engine
 // registries (src/engine/registry.hpp); `ewalk --help` lists every
 // registered name with its parameters — the list below is generated, not
 // hard-coded, so registering a new process or family updates it
-// automatically.
+// automatically. Interacting-token processes (coalescing-srw,
+// coalescing-ewalk, herman) default to --target coalescence and report the
+// coalescence and first-meeting times instead of a cover time.
 //
 // Examples:
-//   ewalk --graph regular --n 100000 --r 4 --walk eprocess
-//   ewalk --graph lps --p 5 --q 29 --walk eprocess --target edges
-//   ewalk --graph torus --w 200 --h 200 --walk rwc --d 2 --trials 10
-//   ewalk --graph hamunion --n 50000 --k 3 --walk multi-eprocess --walkers 8
+//   ewalk --graph regular --n 100000 --r 4 --process eprocess
+//   ewalk --graph lps --p 5 --q 29 --process eprocess --target edges
+//   ewalk --graph torus --w 200 --h 200 --process rwc --d 2 --trials 10
+//   ewalk --graph hamunion --n 50000 --k 3 --process multi-eprocess --walkers 8
+//   ewalk --graph complete --n 1024 --process coalescing-srw --tokens 32
+//   ewalk --graph cycle --n 257 --process herman --tokens 3
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -27,6 +33,7 @@
 #include "engine/driver.hpp"
 #include "engine/params.hpp"
 #include "engine/registry.hpp"
+#include "engine/token_process.hpp"
 #include "graph/algorithms.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -39,22 +46,26 @@ using namespace ewalk;
 void print_help() {
   std::printf(
       "ewalk — run any registered walk process on any graph family\n\n"
-      "usage: ewalk --graph <family> [graph params] --walk <process> [walk params]\n"
-      "             [--trials N] [--seed S] [--target vertices|edges]\n"
-      "             [--max-steps B] [--csv out.csv] [--profile]\n\n");
+      "usage: ewalk --graph <family> [graph params] --process <name> [walk params]\n"
+      "             [--trials N] [--seed S] [--target vertices|edges|coalescence]\n"
+      "             [--max-steps B] [--csv out.csv] [--profile]\n"
+      "       (--walk is a synonym for --process)\n\n");
   std::printf("graph families (--graph):\n");
   for (const auto& e : GeneratorRegistry::instance().entries())
     std::printf("  %-12s %-22s %s\n", e.name.c_str(), e.params_help.c_str(),
                 e.summary.c_str());
-  std::printf("\nwalk processes (--walk):\n");
+  std::printf("\nwalk processes (--process):\n");
   for (const auto& e : ProcessRegistry::instance().entries())
-    std::printf("  %-15s %-34s %s\n", e.name.c_str(), e.params_help.c_str(),
+    std::printf("  %-16s %-34s %s\n", e.name.c_str(), e.params_help.c_str(),
                 e.summary.c_str());
   std::printf("\nE-process rules (--rule):");
   for (const auto& r : rule_names()) std::printf(" %s", r.c_str());
   std::printf(
-      "\n\nWhen --max-steps is absent the engine's default_step_budget(g)\n"
-      "heuristic bounds each trial (see src/engine/budget.hpp).\n");
+      "\n\nInteracting-token processes default to --target coalescence\n"
+      "(drive the population to one token; report coalescence and\n"
+      "first-meeting steps). When --max-steps is absent the engine's\n"
+      "default_step_budget(g) heuristic bounds each trial\n"
+      "(see src/engine/budget.hpp).\n");
 }
 
 }  // namespace
@@ -67,9 +78,9 @@ int main(int argc, char** argv) {
   }
   try {
     const std::uint32_t trials = static_cast<std::uint32_t>(cli.get_int("trials", 5));
-    const bool edges = cli.get("target", "vertices") == "edges";
     const std::string family = cli.get("graph", "regular");
-    const std::string process = cli.get("walk", "eprocess");
+    const std::string process = cli.has("process") ? cli.get("process", "eprocess")
+                                                   : cli.get("walk", "eprocess");
     const ParamMap& params = cli.params();
 
     Rng graph_rng(cli.get_u64("seed", 1));
@@ -86,42 +97,79 @@ int main(int argc, char** argv) {
       std::printf("%s", format_profile(profile_graph(g, popts)).c_str());
     }
 
+    // Token processes default to the coalescence target; everything else to
+    // vertex cover. Decided from the first trial's process, so no throwaway
+    // construction.
+    std::string target = cli.get("target", "");
+    bool edges = false;
+    bool coalescence = false;
+
     const std::uint64_t budget = cli.get_u64("max-steps", default_step_budget(g));
-    std::vector<double> covers, steps;
-    std::uint32_t uncovered = 0;
+    std::vector<double> covers, steps, meetings;
+    std::uint32_t unfinished = 0;
     for (std::uint32_t t = 0; t < trials; ++t) {
       Rng rng(cli.get_u64("seed", 1) * 733 + t);
       auto walk = ProcessRegistry::instance().create(process, g, params, rng);
+      if (t == 0) {
+        if (target.empty())
+          target = dynamic_cast<TokenProcess*>(walk.get()) != nullptr
+                       ? "coalescence"
+                       : "vertices";
+        edges = target == "edges";
+        coalescence = target == "coalescence";
+      }
       bool done;
-      if (edges)
+      std::uint64_t result_step;
+      if (coalescence) {
+        auto* tokens = dynamic_cast<TokenProcess*>(walk.get());
+        if (tokens == nullptr)
+          throw std::invalid_argument("--target coalescence needs an "
+                                      "interacting-token process");
+        done = run_until_process(*tokens, rng, CoalescedToOne{}, budget);
+        result_step = tokens->coalescence_step();
+        const std::uint64_t met = tokens->first_meeting_step();
+        meetings.push_back(static_cast<double>(met != kNotCovered ? met : budget));
+      } else if (edges) {
         done = run_until(*walk, rng, EdgesCovered{}, budget);
-      else
+        result_step = walk->cover().edge_cover_step();
+      } else {
         done = run_until(*walk, rng, VertexCovered{}, budget);
-      if (!done) ++uncovered;
-      const std::uint64_t cover_step = edges ? walk->cover().edge_cover_step()
-                                             : walk->cover().vertex_cover_step();
-      // Uncovered trials contribute the budget, as measure_cover does.
-      covers.push_back(static_cast<double>(done ? cover_step : budget));
+        result_step = walk->cover().vertex_cover_step();
+      }
+      if (!done) ++unfinished;
+      // Unfinished trials contribute the budget, as measure_cover does.
+      covers.push_back(static_cast<double>(done ? result_step : budget));
       steps.push_back(static_cast<double>(walk->steps()));
     }
     const auto stats = summarize(covers);
-    std::printf("%s cover time over %u trials:\n", edges ? "edge" : "vertex", trials);
+    const char* quantity = coalescence ? "coalescence" : (edges ? "edge cover" : "vertex cover");
+    std::printf("%s time over %u trials:\n", quantity, trials);
     std::printf("  mean   %14.0f  (+/- %0.0f at 95%%)\n", stats.mean,
                 stats.ci95_halfwidth());
     std::printf("  median %14.0f   min %0.0f   max %0.0f\n", stats.median,
                 stats.min, stats.max);
     std::printf("  normalised: /n = %.3f   /m = %.3f\n",
                 stats.mean / g.num_vertices(), stats.mean / g.num_edges());
-    if (uncovered > 0)
-      std::printf("  WARNING: %u/%u trials did not cover within %llu steps;\n"
+    if (coalescence) {
+      const auto met = summarize(meetings);
+      std::printf("  first meeting: mean %.0f   median %.0f\n", met.mean, met.median);
+    }
+    if (unfinished > 0)
+      std::printf("  WARNING: %u/%u trials did not finish within %llu steps;\n"
                   "  their samples (and the statistics above) are clamped to the\n"
-                  "  budget — raise --max-steps for true cover times\n",
-                  uncovered, trials, static_cast<unsigned long long>(budget));
+                  "  budget — raise --max-steps for true values\n",
+                  unfinished, trials, static_cast<unsigned long long>(budget));
 
     if (cli.has("csv")) {
-      CsvWriter csv(cli.get("csv", "ewalk.csv"), {"trial", "cover_step", "total_steps"});
-      for (std::uint32_t t = 0; t < trials; ++t)
-        csv.row({static_cast<double>(t), covers[t], steps[t]});
+      std::vector<std::string> header = {"trial", "result_step", "total_steps"};
+      if (coalescence) header.push_back("meeting_step");
+      CsvWriter csv(cli.get("csv", "ewalk.csv"), std::move(header));
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        if (coalescence)
+          csv.row({static_cast<double>(t), covers[t], steps[t], meetings[t]});
+        else
+          csv.row({static_cast<double>(t), covers[t], steps[t]});
+      }
       std::printf("  wrote %s\n", cli.get("csv", "ewalk.csv").c_str());
     }
   } catch (const std::exception& ex) {
