@@ -1,0 +1,181 @@
+// Steps/sec throughput microbenchmark: the repo's perf trajectory.
+//
+// Every optimisation PR needs a number. This bench sweeps the hot processes
+// (SRW, E-process under the uniform and round-robin rules, coalescing SRW
+// tokens, Herman's protocol) over the standard graph families (cycle,
+// random-regular, hypercube, LPS Ramanujan, complete) and reports raw
+// steps/sec for each (process, family) pair, driving every process through
+// the engine's chunked run_until exactly as registry/CLI runs do — so the
+// measured path is the path real experiments take (virtual dispatch
+// amortised per chunk, not per step).
+//
+// Output:
+//   * stdout table
+//   * bench_out/BENCH_throughput.csv   (one row per pair)
+//   * bench_out/BENCH_throughput.json  (machine-readable; schema below)
+//
+// JSON schema (checked by CI's perf-smoke job):
+//   { "bench": "throughput", "version": 1, "quick": bool, "seed": u64,
+//     "chunk": u64,
+//     "results": [ { "process": str, "graph": str, "n": u32, "m": u32,
+//                    "steps": u64, "seconds": f64, "steps_per_sec": f64 },
+//                  ... ] }
+//
+// Flags: --quick (CI sizes), --steps N (override steps per pair),
+//        --seed S, --chunk K (driver check stride).
+//
+// Throughput is measured from a fresh process each time, so the E-process
+// numbers include the expensive all-blue opening phase — that is deliberate:
+// the blue phase is where the eviction cost lives, and a dense family
+// (complete) is included precisely to expose it.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "engine/driver.hpp"
+#include "engine/params.hpp"
+#include "engine/registry.hpp"
+#include "graph/graph.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ewalk;
+
+struct FamilySpec {
+  std::string key;        // short label, e.g. "cycle"
+  std::string generator;  // GeneratorRegistry name
+  ParamMap params;
+};
+
+struct ProcessSpec {
+  std::string key;      // short label, e.g. "eprocess-rr"
+  std::string process;  // ProcessRegistry name
+  ParamMap params;
+  bool cycle_only = false;  // herman needs a ring
+};
+
+struct Result {
+  std::string process;
+  std::string graph;
+  Vertex n;
+  EdgeId m;
+  std::uint64_t steps;
+  double seconds;
+  double steps_per_sec;
+};
+
+std::vector<FamilySpec> families(bool quick) {
+  if (quick) {
+    return {
+        {"cycle", "cycle", {{"n", "50000"}}},
+        {"regular", "regular", {{"n", "10000"}, {"r", "8"}}},
+        {"hypercube", "hypercube", {{"r", "12"}}},
+        {"lps", "lps", {{"p", "5"}, {"q", "13"}}},
+        {"complete", "complete", {{"n", "1000"}}},
+    };
+  }
+  return {
+      {"cycle", "cycle", {{"n", "200000"}}},
+      {"regular", "regular", {{"n", "50000"}, {"r", "8"}}},
+      {"hypercube", "hypercube", {{"r", "14"}}},
+      {"lps", "lps", {{"p", "5"}, {"q", "29"}}},
+      {"complete", "complete", {{"n", "2000"}}},
+  };
+}
+
+std::vector<ProcessSpec> processes() {
+  return {
+      {"srw", "srw", {}},
+      {"eprocess-uniform", "eprocess", {{"rule", "uniform"}}},
+      {"eprocess-rr", "eprocess", {{"rule", "roundrobin"}}},
+      {"coalescing-srw", "coalescing-srw", {{"tokens", "32"}}},
+      {"herman", "herman", {{"tokens", "33"}}, /*cycle_only=*/true},
+  };
+}
+
+/// Escapes nothing (keys are [a-z0-9-]); kept trivial on purpose.
+void write_json(const std::string& path, bool quick, std::uint64_t seed,
+                std::uint64_t chunk, const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"throughput\",\n  \"version\": 1,\n"
+               "  \"quick\": %s,\n  \"seed\": %llu,\n  \"chunk\": %llu,\n"
+               "  \"results\": [\n",
+               quick ? "true" : "false",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(chunk));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"process\": \"%s\", \"graph\": \"%s\", \"n\": %u, "
+                 "\"m\": %u, \"steps\": %llu, \"seconds\": %.6f, "
+                 "\"steps_per_sec\": %.1f}%s\n",
+                 r.process.c_str(), r.graph.c_str(), r.n, r.m,
+                 static_cast<unsigned long long>(r.steps), r.seconds,
+                 r.steps_per_sec, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::uint64_t seed = cli.get_u64("seed", 1);
+  const std::uint64_t chunk = cli.get_u64("chunk", 4096);
+  const std::uint64_t steps_per_pair =
+      cli.get_u64("steps", quick ? 400000 : 4000000);
+
+  bench::print_header(
+      "throughput: steps/sec per (process, family) pair",
+      "engine hot path — O(1) blue eviction + chunked virtual dispatch");
+
+  auto csv = bench::open_csv(
+      "BENCH_throughput",
+      {"process", "graph", "n", "m", "steps", "seconds", "steps_per_sec"});
+
+  std::vector<Result> results;
+  std::printf("%-18s %-10s %10s %12s %10s %14s\n", "process", "graph", "n",
+              "m", "seconds", "steps/sec");
+
+  std::uint32_t pair = 0;
+  for (const FamilySpec& fam : families(quick)) {
+    Rng graph_rng(seed);
+    const Graph g =
+        GeneratorRegistry::instance().create(fam.generator, fam.params, graph_rng);
+    for (const ProcessSpec& proc : processes()) {
+      if (proc.cycle_only && fam.key != "cycle") continue;
+      ++pair;
+      Rng rng(seed * 9176 + pair);
+      auto walk =
+          ProcessRegistry::instance().create(proc.process, g, proc.params, rng);
+      WallTimer timer;
+      run_until(
+          *walk, rng, [](const CoverState&) { return false; }, steps_per_pair,
+          chunk);
+      const double secs = timer.seconds();
+      const double rate = static_cast<double>(walk->steps()) / secs;
+      results.push_back(Result{proc.key, fam.key, g.num_vertices(),
+                               g.num_edges(), walk->steps(), secs, rate});
+      std::printf("%-18s %-10s %10u %12u %10.3f %14.0f\n", proc.key.c_str(),
+                  fam.key.c_str(), g.num_vertices(), g.num_edges(), secs, rate);
+      csv->row({proc.key, fam.key, std::to_string(g.num_vertices()),
+                std::to_string(g.num_edges()), std::to_string(walk->steps()),
+                std::to_string(secs), std::to_string(rate)});
+    }
+  }
+
+  // bench_out/ already exists: open_csv created it.
+  write_json("bench_out/BENCH_throughput.json", quick, seed, chunk, results);
+  return 0;
+}

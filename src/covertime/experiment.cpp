@@ -6,6 +6,7 @@
 #include "engine/adapters.hpp"
 #include "engine/budget.hpp"
 #include "engine/driver.hpp"
+#include "util/thread_pool.hpp"
 #include "walks/srw.hpp"
 
 namespace ewalk {
@@ -25,19 +26,12 @@ std::vector<double> run_trials(std::uint32_t count, std::uint32_t threads,
     return results;
   }
 
-  std::atomic<std::uint32_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::uint32_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        results[i] = fn(streams[i], i);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  // The persistent pool replaces per-call thread spawn/join. Trial i's
+  // stream is a pure function of (master_seed, i), so which pool thread
+  // runs it cannot affect the result.
+  ThreadPool::instance().parallel_for(
+      count, workers,
+      [&](std::uint32_t i) { results[i] = fn(streams[i], i); });
   return results;
 }
 

@@ -30,10 +30,12 @@
 namespace ewalk {
 
 /// Runs `count` trials of `fn`, each with an independent stream derived from
-/// `master_seed`, on up to `threads` worker threads (0 => hardware default).
-/// Trial i's stream depends only on (master_seed, i). Results are returned
-/// in trial order. `fn` must be safe to call concurrently from several
-/// threads (it receives a private Rng).
+/// `master_seed`, with up to `threads`-way parallelism (0 => hardware
+/// default) on the persistent process-wide pool (util/thread_pool.hpp) — no
+/// thread spawn/teardown per call. Trial i's stream depends only on
+/// (master_seed, i), so results are bit-identical across thread counts and
+/// are returned in trial order. `fn` must be safe to call concurrently from
+/// several threads (it receives a private Rng).
 std::vector<double> run_trials(std::uint32_t count, std::uint32_t threads,
                                std::uint64_t master_seed,
                                const std::function<double(Rng&, std::uint32_t)>& fn);

@@ -27,6 +27,7 @@ class EProcessHandle final : public WalkProcess {
       : rule_(std::move(rule)), walk_(g, start, *rule_, options) {}
 
   void step(Rng& rng) override { walk_.step(rng); }
+  void step_many(Rng& rng, std::uint64_t k) override { walk_.step_many(rng, k); }
   Vertex current() const override { return walk_.current(); }
   std::uint64_t steps() const override { return walk_.steps(); }
   const CoverState& cover() const override { return walk_.cover(); }
@@ -51,6 +52,7 @@ class MultiEProcessHandle final : public WalkProcess {
       : rule_(std::move(rule)), walk_(g, std::move(starts), *rule_) {}
 
   void step(Rng& rng) override { walk_.step(rng); }
+  void step_many(Rng& rng, std::uint64_t k) override { walk_.step_many(rng, k); }
   Vertex current() const override { return walk_.current(); }
   std::uint64_t steps() const override { return walk_.steps(); }
   const CoverState& cover() const override { return walk_.cover(); }

@@ -98,8 +98,12 @@ inline std::uint64_t visit_count_stride(const Graph& g) {
 /// loops). The predicate is evaluated every `check_stride` transitions
 /// (1 = every step); it sees the whole process, which is what the
 /// token-population predicates (CoalescedToOne, TokensAtMost, TokensHaveMet
-/// — engine/token_process.hpp) need. RNG discipline: exactly one step()
-/// call per transition, nothing drawn by the driver itself. Returns true
+/// — engine/token_process.hpp) need. Each burst between predicate checks is
+/// driven as ONE step_many() call, so registry-constructed processes pay
+/// ~1 virtual dispatch per chunk instead of one per transition — with
+/// step counts and RNG streams identical to per-step driving, which
+/// step_many's contract guarantees. RNG discipline: exactly one transition
+/// per step of the budget, nothing drawn by the driver itself. Returns true
 /// iff the predicate holds on exit.
 template <typename Process, typename Predicate>
 bool run_until_process(Process& process, Rng& rng, Predicate predicate,
@@ -109,7 +113,7 @@ bool run_until_process(Process& process, Rng& rng, Predicate predicate,
     if (process.steps() >= max_steps) return false;
     const std::uint64_t remaining = max_steps - process.steps();
     const std::uint64_t burst = std::min(check_stride, remaining);
-    for (std::uint64_t i = 0; i < burst; ++i) process.step(rng);
+    process.step_many(rng, burst);
   }
 }
 

@@ -33,6 +33,16 @@ class WalkProcess {
   /// Performs one transition. Deterministic processes ignore `rng`.
   virtual void step(Rng& rng) = 0;
 
+  /// Performs `k` transitions as one call — required to be bit-identical to
+  /// k successive step() calls (same RNG draws, same trajectory). The
+  /// default loop still dispatches virtually per step; hot processes
+  /// override it with a tight loop in the final class, so chunked drivers
+  /// (engine/driver.hpp) pay ~1 virtual dispatch per chunk instead of one
+  /// per transition.
+  virtual void step_many(Rng& rng, std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) step(rng);
+  }
+
   /// Vertex the process occupies (for multi-walker processes: the walker
   /// about to move).
   virtual Vertex current() const = 0;

@@ -1,0 +1,125 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace ewalk {
+
+namespace {
+
+/// One parallel_for invocation: helpers and the caller drain the index
+/// counter; the caller blocks until every claimed index has *finished* (not
+/// merely been claimed), so no helper can touch the task — or anything its
+/// closure references in the caller's frame — after parallel_for returns,
+/// even when a task throws. Held by shared_ptr so helpers that wake after
+/// the caller returned find valid (already-exhausted) state.
+struct ParallelForJob {
+  ParallelForJob(const std::function<void(std::uint32_t)>& t, std::uint32_t c)
+      : task(t), count(c) {}
+
+  const std::function<void(std::uint32_t)>& task;  // outlives the job: caller blocks
+  const std::uint32_t count;
+  std::atomic<std::uint32_t> next{0};
+  std::atomic<std::uint32_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first failure; guarded by done_mutex
+
+  void drain() {
+    for (;;) {
+      const std::uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      // After a failure the remaining indices are still claimed (so
+      // `completed` reaches `count` and the caller's wait terminates) but
+      // their tasks are skipped; the first exception is rethrown on the
+      // calling thread once every in-flight task has finished.
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          task(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // The caller participates in every parallel_for, so hw-1 helpers saturate
+  // the machine; keep at least one so parallelism exists even when hw is
+  // unknown (0) or 1.
+  const std::uint32_t helpers = std::max(1u, hw == 0 ? 1u : hw - 1);
+  workers_.reserve(helpers);
+  for (std::uint32_t w = 0; w < helpers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, nothing left to run
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    work();
+  }
+}
+
+void ThreadPool::parallel_for(std::uint32_t count, std::uint32_t parallelism,
+                              const std::function<void(std::uint32_t)>& task) {
+  if (count == 0) return;
+  if (parallelism <= 1 || count == 1 || workers_.empty()) {
+    for (std::uint32_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  auto job = std::make_shared<ParallelForJob>(task, count);
+  const std::uint32_t helpers =
+      std::min({parallelism - 1, count - 1, worker_count()});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint32_t h = 0; h < helpers; ++h)
+      queue_.emplace_back([job] { job->drain(); });
+  }
+  if (helpers == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+
+  job->drain();  // the caller is one of the workers
+  std::unique_lock<std::mutex> lock(job->done_mutex);
+  job->done_cv.wait(lock,
+                    [&] { return job->completed.load() == job->count; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace ewalk

@@ -1,0 +1,66 @@
+// Lazily-initialised persistent worker pool.
+//
+// The multi-trial experiment harness (covertime/experiment.hpp) used to
+// spawn and join a fresh set of std::threads on *every* run_trials call —
+// cheap for one five-trial experiment, real overhead for the bench sweeps
+// that call it hundreds of times. This pool is created on first use, keeps
+// its workers parked on a condition variable between calls, and serves every
+// measure_cover / measure_coalescence sweep in the process.
+//
+// parallel_for is the only scheduling primitive: run task(0..count-1) with
+// bounded parallelism. The calling thread participates in the drain, so the
+// pool adds hardware_concurrency-1 helpers and a `parallelism` cap never
+// deadlocks even if it exceeds the worker count. Work is handed out through
+// a shared atomic counter — which task runs on which thread is unspecified,
+// so parallel_for callers must derive any per-task randomness from the task
+// index, never from thread identity (run_trials' per-trial streams already
+// work this way, which is what keeps trial results bit-reproducible
+// regardless of scheduling).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ewalk {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, created (with its workers) on first call.
+  static ThreadPool& instance();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Helper threads the pool owns (callers add themselves on top).
+  std::uint32_t worker_count() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  /// Runs task(0) ... task(count-1) with at most `parallelism` invocations
+  /// in flight, returning once all have finished. The calling thread
+  /// participates; parallelism <= 1 runs everything inline. Tasks must be
+  /// independent of each other and of the thread they land on. If a task
+  /// throws, unstarted tasks are skipped and the first exception is
+  /// rethrown on the calling thread after every in-flight task finishes —
+  /// helpers never outlive the call, whatever the tasks do.
+  void parallel_for(std::uint32_t count, std::uint32_t parallelism,
+                    const std::function<void(std::uint32_t)>& task);
+
+ private:
+  ThreadPool();
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace ewalk

@@ -1,10 +1,23 @@
 // The blue-prefix partition: O(1) access to the unvisited ("blue") incident
-// edges of every vertex.
+// edges of every vertex, with O(1) eviction.
 //
 // order_[slot_offset(v) + p] is the local slot index (0..deg-1) occupying
-// position p of v's region; positions < blue_count(v) are blue. Marking an
-// edge visited swaps its slot out of the prefix at both endpoints (twice at
-// the same vertex for a self-loop, which occupies two slots).
+// position p of v's region; positions < blue_count(v) are blue. Two static
+// and dynamic side tables make eviction a true O(1) swap:
+//   * edge_slot_[2e], edge_slot_[2e+1] — the local slot index edge e occupies
+//     at each endpoint (both at the same vertex for a self-loop), fixed at
+//     construction;
+//   * pos_of_slot_[slot_offset(v) + k] — the position local slot k currently
+//     holds in v's region, maintained through every swap (the inverse
+//     permutation of order_ per vertex).
+// Marking an edge visited looks up its slot at each endpoint, finds the
+// slot's position through pos_of_slot_, and swaps it out of the blue prefix
+// — no scan over the prefix, so a blue step costs O(1) regardless of degree
+// (the previous implementation scanned O(blue_count) per endpoint, which
+// dominated dense graphs). The swap is move-for-move identical to the scan
+// it replaced, so walk trajectories are unchanged bit-for-bit; for a
+// self-loop the slot nearer the front is evicted first, the order the scan
+// found them in.
 //
 // This is the state every unvisited-edge-preferring process shares —
 // EProcess, MultiEProcess, CoalescingEWalk — extracted here so the eviction
@@ -15,6 +28,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -26,12 +40,25 @@ class BluePartition {
   /// All edges start blue.
   explicit BluePartition(const Graph& g)
       : order_(2 * static_cast<std::size_t>(g.num_edges())),
+        pos_of_slot_(2 * static_cast<std::size_t>(g.num_edges())),
+        edge_slot_(2 * static_cast<std::size_t>(g.num_edges()), kUnset),
         blue_count_(g.num_vertices()) {
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
       const std::uint32_t off = g.slot_offset(v);
       const std::uint32_t d = g.degree(v);
       blue_count_[v] = d;
-      for (std::uint32_t k = 0; k < d; ++k) order_[off + k] = k;
+      for (std::uint32_t k = 0; k < d; ++k) {
+        order_[off + k] = k;
+        pos_of_slot_[off + k] = k;
+        const EdgeId e = g.slot(v, k).edge;
+        // Entry 2e belongs to endpoint u, 2e+1 to endpoint v; a self-loop
+        // (u == v) fills them with its two slots in slot order.
+        if (v == g.endpoints(e).u && edge_slot_[2 * e] == kUnset) {
+          edge_slot_[2 * e] = k;
+        } else {
+          edge_slot_[2 * e + 1] = k;
+        }
+      }
     }
   }
 
@@ -43,45 +70,55 @@ class BluePartition {
     return g.slot(v, order_[g.slot_offset(v) + p]);
   }
 
-  /// Copies v's blue slots into `out` (cleared first) — the candidate span
-  /// handed to non-uniform rules.
+  /// Copies v's blue slots into `out` (resized to blue_count(v)) — the
+  /// candidate span handed to non-uniform rules. Callers keep one scratch
+  /// vector reserved to max_degree, so this never allocates.
   void fill_candidates(const Graph& g, Vertex v, std::vector<Slot>& out) const {
-    out.clear();
     const std::uint32_t b = blue_count_[v];
-    for (std::uint32_t p = 0; p < b; ++p) out.push_back(blue_slot(g, v, p));
+    const std::uint32_t off = g.slot_offset(v);
+    out.resize(b);
+    for (std::uint32_t p = 0; p < b; ++p) out[p] = g.slot(v, order_[off + p]);
   }
 
   /// Evicts e from the blue prefix of each endpoint with an O(1) swap. The
   /// edge occurs exactly once in each endpoint's slots — twice at the same
-  /// vertex for a self-loop. Precondition: e is blue.
+  /// vertex for a self-loop, which occupies two slots. Precondition: e is
+  /// blue.
   void mark_edge_visited(const Graph& g, EdgeId e) {
     const auto [u, v] = g.endpoints(e);
-    const bool at_u = evict(g, u, e);
-    assert(at_u);
-    (void)at_u;
-    const bool other = evict(g, u == v ? u : v, e);
-    assert(other);
-    (void)other;
+    std::uint32_t ku = edge_slot_[2 * e];
+    std::uint32_t kv = edge_slot_[2 * e + 1];
+    if (u == v) {
+      // Self-loop: evict the slot currently nearer the front first — the
+      // order a front-to-back prefix scan finds them — so the resulting
+      // permutation is identical to the scan-based implementation.
+      const std::uint32_t off = g.slot_offset(u);
+      if (pos_of_slot_[off + kv] < pos_of_slot_[off + ku]) std::swap(ku, kv);
+    }
+    evict_slot(g, u, ku);
+    evict_slot(g, v, kv);
   }
 
  private:
-  bool evict(const Graph& g, Vertex owner, EdgeId edge) {
+  static constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+
+  /// Swaps local slot k out of owner's blue prefix. Precondition: blue.
+  void evict_slot(const Graph& g, Vertex owner, std::uint32_t k) {
     const std::uint32_t off = g.slot_offset(owner);
-    const std::uint32_t b = blue_count_[owner];
-    for (std::uint32_t p = 0; p < b; ++p) {
-      const std::uint32_t k = order_[off + p];
-      if (g.slot(owner, k).edge == edge) {
-        const std::uint32_t last = b - 1;
-        order_[off + p] = order_[off + last];
-        order_[off + last] = k;
-        blue_count_[owner] = last;
-        return true;
-      }
-    }
-    return false;
+    const std::uint32_t p = pos_of_slot_[off + k];
+    assert(blue_count_[owner] > 0 && p < blue_count_[owner]);
+    const std::uint32_t last = blue_count_[owner] - 1;
+    const std::uint32_t moved = order_[off + last];
+    order_[off + p] = moved;
+    order_[off + last] = k;
+    pos_of_slot_[off + moved] = p;
+    pos_of_slot_[off + k] = last;
+    blue_count_[owner] = last;
   }
 
   std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> pos_of_slot_;
+  std::vector<std::uint32_t> edge_slot_;
   std::vector<std::uint32_t> blue_count_;
 };
 

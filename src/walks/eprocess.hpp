@@ -95,6 +95,12 @@ class EProcess {
   /// run_until_vertex_cover(walk, rng, budget).
   StepColor step(Rng& rng);
 
+  /// Performs `k` transitions as one call; bit-identical to k step() calls.
+  /// The batched entry point chunked drivers and EProcessHandle use.
+  void step_many(Rng& rng, std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) step(rng);
+  }
+
   Vertex current() const { return current_; }
   Vertex start_vertex() const { return start_; }
   std::uint64_t steps() const { return steps_; }

@@ -34,6 +34,11 @@ class MultiEProcess {
   /// (engine/driver.hpp).
   StepColor step(Rng& rng);
 
+  /// Performs `k` transitions as one call; bit-identical to k step() calls.
+  void step_many(Rng& rng, std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) step(rng);
+  }
+
   std::uint32_t num_walkers() const { return static_cast<std::uint32_t>(positions_.size()); }
   Vertex position(std::uint32_t walker) const { return positions_[walker]; }
   /// Position of the walker about to move (the engine's notion of "current").

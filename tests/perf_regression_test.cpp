@@ -1,0 +1,494 @@
+// Stream-identity regression suite for the hot-path optimisations.
+//
+// The O(1) blue eviction (BluePartition::pos_of_slot_), the batched
+// step_many driving, and the persistent run_trials thread pool are all
+// required to be *bit-for-bit* invisible: same RNG draws, same
+// trajectories, same samples as the original per-step/per-scan/per-spawn
+// implementations. This suite pins that down two ways:
+//
+//  1. Golden trajectory hashes. Every scenario below was run against the
+//     pre-optimisation implementation (linear-scan evict, unbatched driver,
+//     thread-per-call run_trials) and its FNV-1a trajectory hash recorded as
+//     a constant. The optimised code must reproduce each hash exactly —
+//     including on multigraphs with self-loops and parallel edges, where
+//     eviction order subtleties live.
+//
+//  2. Internal consistency. step()-by-step vs step_many-chunked driving of
+//     two identically seeded processes must coincide, and run_trials must
+//     return identical samples for 1, 2, and 8 threads.
+//
+// Compile with -DEWALK_GOLDEN_PRINT for a main() that prints the constants
+// instead of asserting them (how the numbers below were produced).
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "covertime/experiment.hpp"
+#include "engine/adapters.hpp"
+#include "engine/driver.hpp"
+#include "engine/registry.hpp"
+#include "engine/token_process.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "interact/coalescing.hpp"
+#include "interact/herman.hpp"
+#include "interact/token_system.hpp"
+#include "util/rng.hpp"
+#include "walks/eprocess.hpp"
+#include "walks/multi_eprocess.hpp"
+#include "walks/rules.hpp"
+#include "walks/srw.hpp"
+
+namespace ewalk {
+namespace {
+
+// ---- Trajectory hashing ----------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+struct Hasher {
+  std::uint64_t h = kFnvOffset;
+  void mix(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFF;
+      h *= kFnvPrime;
+    }
+  }
+};
+
+// A connected multigraph with self-loops and parallel edges: the cases where
+// blue-eviction order is subtle (a self-loop occupies two slots of the same
+// vertex; parallel edges are distinct edge ids in neighbouring slots).
+Graph messy_multigraph() {
+  const Vertex n = 60;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);  // base cycle
+  for (Vertex v = 0; v < n; v += 5) b.add_edge(v, (v + 1) % n);  // parallel
+  for (Vertex v = 0; v < n; v += 7) b.add_edge(v, v);            // self-loop
+  for (Vertex v = 0; v < n; v += 3) b.add_edge(v, (v + 13) % n);  // chords
+  return b.build();
+}
+
+// ---- Scenarios -------------------------------------------------------------
+//
+// Each drives a process with a fixed seed and folds the full trajectory
+// (positions, colours/populations, step counts) into one hash.
+
+std::uint64_t eprocess_trajectory(const std::string& rule_name,
+                                  std::uint64_t steps) {
+  const Graph g = messy_multigraph();
+  Rng rng(12345);
+  auto rule = make_rule(rule_name, g, rng);
+  EProcess walk(g, 0, *rule);
+  Hasher h;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const StepColor c = walk.step(rng);
+    h.mix(walk.current());
+    h.mix(c == StepColor::kBlue ? 1 : 0);
+  }
+  h.mix(walk.blue_steps());
+  h.mix(walk.cover().edges_covered());
+  return h.h;
+}
+
+std::uint64_t multi_eprocess_trajectory(std::uint64_t steps) {
+  const Graph g = messy_multigraph();
+  Rng rng(777);
+  auto rule = make_rule("roundrobin", g, rng);
+  MultiEProcess walk(g, {0, 15, 30, 45}, *rule);
+  Hasher h;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    walk.step(rng);
+    for (std::uint32_t w = 0; w < walk.num_walkers(); ++w)
+      h.mix(walk.position(w));
+  }
+  h.mix(walk.blue_steps());
+  return h.h;
+}
+
+std::uint64_t coalescing_ewalk_trajectory(std::uint64_t steps) {
+  const Graph g = messy_multigraph();
+  Rng rng(424242);
+  auto rule = make_rule("uniform", g, rng);
+  CoalescingEWalk walk(g, spread_token_starts(g.num_vertices(), 8, 0),
+                       std::move(rule));
+  Hasher h;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    walk.step(rng);
+    h.mix(walk.current());
+    h.mix(walk.tokens_remaining());
+  }
+  h.mix(walk.blue_steps());
+  h.mix(walk.first_meeting_step());
+  return h.h;
+}
+
+std::uint64_t srw_trajectory(std::uint64_t steps) {
+  const Graph g = messy_multigraph();
+  Rng rng(99);
+  SimpleRandomWalk walk(g, 0);
+  Hasher h;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    walk.step(rng);
+    h.mix(walk.current());
+  }
+  return h.h;
+}
+
+std::uint64_t herman_run() {
+  const Graph g = cycle_graph(101);
+  Rng rng(31337);
+  HermanRing ring(g, spread_token_starts(g.num_vertices(), 7, 0));
+  run_until_process(ring, rng, CoalescedToOne{}, 10'000'000);
+  Hasher h;
+  h.mix(ring.coalescence_step());
+  h.mix(ring.steps());
+  h.mix(ring.current());
+  return h.h;
+}
+
+// Registry + chunked run_until (the CLI path): E-process driven to vertex
+// cover in visit_count_stride chunks through the WalkProcess interface.
+std::uint64_t registry_chunked_cover() {
+  const Graph g = messy_multigraph();
+  Rng rng(5150);
+  auto walk = ProcessRegistry::instance().create(
+      "eprocess", g, ParamMap{{"rule", "priority"}}, rng);
+  run_until(*walk, rng, VertexCovered{}, 1'000'000, visit_count_stride(g));
+  Hasher h;
+  h.mix(walk->steps());
+  h.mix(walk->cover().vertex_cover_step());
+  h.mix(walk->current());
+  return h.h;
+}
+
+std::uint64_t hash_samples(const std::vector<double>& samples) {
+  Hasher h;
+  for (double s : samples) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(s));
+    __builtin_memcpy(&bits, &s, sizeof(bits));
+    h.mix(bits);
+  }
+  return h.h;
+}
+
+// Parallel experiment harness: per-trial streams through run_trials.
+std::uint64_t measure_cover_samples(std::uint32_t threads) {
+  CoverExperimentConfig config;
+  config.trials = 8;
+  config.threads = threads;
+  config.master_seed = 2024;
+  const auto result = measure_eprocess_cover(
+      [](Rng& rng) { return random_regular_connected(200, 4, rng); },
+      [](const Graph& g) {
+        Rng unused(0);
+        return make_rule("uniform", g, unused);
+      },
+      config);
+  return hash_samples(result.samples);
+}
+
+std::uint64_t measure_coalescence_samples(std::uint32_t threads) {
+  CoalescenceExperimentConfig config;
+  config.trials = 8;
+  config.threads = threads;
+  config.master_seed = 4096;
+  const auto result = measure_coalescence(
+      [](const Graph& g, Rng&) -> std::unique_ptr<TokenProcess> {
+        return std::make_unique<CoalescingRW>(
+            g, spread_token_starts(g.num_vertices(), 6, 0));
+      },
+      [](Rng&) { return hypercube(7); }, config);
+  Hasher h;
+  h.mix(hash_samples(result.samples));
+  h.mix(hash_samples(result.meeting_samples));
+  return h.h;
+}
+
+// ---- Golden constants (produced by the pre-optimisation implementation) ---
+
+constexpr std::uint64_t kGoldenEProcessUniform = 0x54BE81FDB047691AULL;
+constexpr std::uint64_t kGoldenEProcessRoundRobin = 0x585E343619067524ULL;
+constexpr std::uint64_t kGoldenEProcessAdversary = 0xA42349384C6DC2A3ULL;
+constexpr std::uint64_t kGoldenMultiEProcess = 0x4625475AD7E0AAA8ULL;
+constexpr std::uint64_t kGoldenCoalescingEWalk = 0x64338EE1F5143885ULL;
+constexpr std::uint64_t kGoldenSrw = 0xEE72FD043017D2CCULL;
+constexpr std::uint64_t kGoldenHerman = 0x155F93A836DE2D9CULL;
+constexpr std::uint64_t kGoldenRegistryChunkedCover = 0xCF56F55BD7929475ULL;
+constexpr std::uint64_t kGoldenMeasureCover = 0xCD18DE61349D1940ULL;
+constexpr std::uint64_t kGoldenMeasureCoalescence = 0x585855EE7023B846ULL;
+
+constexpr std::uint64_t kTrajectorySteps = 6000;
+
+}  // namespace
+}  // namespace ewalk
+
+#ifdef EWALK_GOLDEN_PRINT
+
+#include <cstdio>
+
+int main() {
+  using namespace ewalk;
+  std::printf("kGoldenEProcessUniform     0x%016llXULL\n",
+              (unsigned long long)eprocess_trajectory("uniform", kTrajectorySteps));
+  std::printf("kGoldenEProcessRoundRobin  0x%016llXULL\n",
+              (unsigned long long)eprocess_trajectory("roundrobin", kTrajectorySteps));
+  std::printf("kGoldenEProcessAdversary   0x%016llXULL\n",
+              (unsigned long long)eprocess_trajectory("adversary", kTrajectorySteps));
+  std::printf("kGoldenMultiEProcess       0x%016llXULL\n",
+              (unsigned long long)multi_eprocess_trajectory(kTrajectorySteps));
+  std::printf("kGoldenCoalescingEWalk     0x%016llXULL\n",
+              (unsigned long long)coalescing_ewalk_trajectory(kTrajectorySteps));
+  std::printf("kGoldenSrw                 0x%016llXULL\n",
+              (unsigned long long)srw_trajectory(kTrajectorySteps));
+  std::printf("kGoldenHerman              0x%016llXULL\n",
+              (unsigned long long)herman_run());
+  std::printf("kGoldenRegistryChunkedCover 0x%016llXULL\n",
+              (unsigned long long)registry_chunked_cover());
+  std::printf("kGoldenMeasureCover        0x%016llXULL\n",
+              (unsigned long long)measure_cover_samples(4));
+  std::printf("kGoldenMeasureCoalescence  0x%016llXULL\n",
+              (unsigned long long)measure_coalescence_samples(4));
+  return 0;
+}
+
+#else  // EWALK_GOLDEN_PRINT
+
+#include <gtest/gtest.h>
+
+namespace ewalk {
+namespace {
+
+TEST(StreamIdentity, EProcessUniformOnMultigraphMatchesGolden) {
+  EXPECT_EQ(eprocess_trajectory("uniform", kTrajectorySteps),
+            kGoldenEProcessUniform);
+}
+
+TEST(StreamIdentity, EProcessRoundRobinOnMultigraphMatchesGolden) {
+  EXPECT_EQ(eprocess_trajectory("roundrobin", kTrajectorySteps),
+            kGoldenEProcessRoundRobin);
+}
+
+TEST(StreamIdentity, EProcessAdversaryOnMultigraphMatchesGolden) {
+  EXPECT_EQ(eprocess_trajectory("adversary", kTrajectorySteps),
+            kGoldenEProcessAdversary);
+}
+
+TEST(StreamIdentity, MultiEProcessOnMultigraphMatchesGolden) {
+  EXPECT_EQ(multi_eprocess_trajectory(kTrajectorySteps), kGoldenMultiEProcess);
+}
+
+TEST(StreamIdentity, CoalescingEWalkOnMultigraphMatchesGolden) {
+  EXPECT_EQ(coalescing_ewalk_trajectory(kTrajectorySteps),
+            kGoldenCoalescingEWalk);
+}
+
+TEST(StreamIdentity, SrwOnMultigraphMatchesGolden) {
+  EXPECT_EQ(srw_trajectory(kTrajectorySteps), kGoldenSrw);
+}
+
+TEST(StreamIdentity, HermanStabilisationMatchesGolden) {
+  EXPECT_EQ(herman_run(), kGoldenHerman);
+}
+
+TEST(StreamIdentity, RegistryChunkedCoverMatchesGolden) {
+  EXPECT_EQ(registry_chunked_cover(), kGoldenRegistryChunkedCover);
+}
+
+TEST(StreamIdentity, MeasureCoverSamplesMatchGoldenOnThreadPool) {
+  EXPECT_EQ(measure_cover_samples(4), kGoldenMeasureCover);
+}
+
+TEST(StreamIdentity, MeasureCoalescenceSamplesMatchGoldenOnThreadPool) {
+  EXPECT_EQ(measure_coalescence_samples(4), kGoldenMeasureCoalescence);
+}
+
+// ---- Thread-count invariance on the persistent pool ----------------------
+
+TEST(ThreadPoolIdentity, MeasureCoverSamplesInvariantAcross1To8Threads) {
+  const std::uint64_t t1 = measure_cover_samples(1);
+  const std::uint64_t t2 = measure_cover_samples(2);
+  const std::uint64_t t8 = measure_cover_samples(8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(ThreadPoolIdentity, MeasureCoalescenceSamplesInvariantAcross1To8Threads) {
+  const std::uint64_t t1 = measure_coalescence_samples(1);
+  const std::uint64_t t2 = measure_coalescence_samples(2);
+  const std::uint64_t t8 = measure_coalescence_samples(8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(ThreadPoolIdentity, TaskExceptionPropagatesToCallerAndPoolSurvives) {
+  const auto failing = [](Rng&, std::uint32_t trial) -> double {
+    if (trial == 3) throw std::runtime_error("trial failed");
+    return 1.0;
+  };
+  EXPECT_THROW(run_trials(16, 8, 1, failing), std::runtime_error);
+  // The pool survives a failed run and serves later calls normally.
+  const auto ok = run_trials(8, 8, 1, [](Rng&, std::uint32_t) { return 2.0; });
+  EXPECT_EQ(ok, std::vector<double>(8, 2.0));
+}
+
+TEST(ThreadPoolIdentity, RunTrialsOrderAndValuesStable) {
+  const auto fn = [](Rng& rng, std::uint32_t trial) {
+    return static_cast<double>(rng.uniform(1000) + 1000 * trial);
+  };
+  const auto serial = run_trials(32, 1, 99, fn);
+  const auto pooled = run_trials(32, 8, 99, fn);
+  EXPECT_EQ(serial, pooled);
+  // Re-running on the (already warm) pool must be just as deterministic.
+  EXPECT_EQ(pooled, run_trials(32, 8, 99, fn));
+}
+
+// ---- step_many chunking vs single stepping -------------------------------
+
+TEST(StepManyIdentity, EProcessStepManyMatchesSingleStepping) {
+  const Graph g = messy_multigraph();
+  Rng rng_a(5), rng_b(5);
+  auto rule_a = make_rule("roundrobin", g, rng_a);
+  auto rule_b = make_rule("roundrobin", g, rng_b);
+  EProcess a(g, 0, *rule_a);
+  EProcess b(g, 0, *rule_b);
+  for (int i = 0; i < 500; ++i) a.step(rng_a);
+  b.step_many(rng_b, 500);
+  EXPECT_EQ(a.current(), b.current());
+  EXPECT_EQ(a.steps(), b.steps());
+  EXPECT_EQ(a.blue_steps(), b.blue_steps());
+  EXPECT_EQ(rng_a(), rng_b());  // streams advanced identically
+}
+
+TEST(StepManyIdentity, TokenProcessStepManyMatchesSingleStepping) {
+  const Graph g = hypercube(6);
+  Rng rng_a(6), rng_b(6);
+  CoalescingRW a(g, spread_token_starts(g.num_vertices(), 8, 0));
+  CoalescingRW b(g, spread_token_starts(g.num_vertices(), 8, 0));
+  for (int i = 0; i < 2000; ++i) a.step(rng_a);
+  b.step_many(rng_b, 2000);
+  EXPECT_EQ(a.current(), b.current());
+  EXPECT_EQ(a.tokens_remaining(), b.tokens_remaining());
+  EXPECT_EQ(a.first_meeting_step(), b.first_meeting_step());
+  EXPECT_EQ(rng_a(), rng_b());
+}
+
+TEST(StepManyIdentity, ChunkedDriverMatchesUnchunkedDriver) {
+  const Graph g = messy_multigraph();
+  Rng rng_a(7), rng_b(7);
+  auto a = ProcessRegistry::instance().create("srw", g, {}, rng_a);
+  auto b = ProcessRegistry::instance().create("srw", g, {}, rng_b);
+  const bool done_a = run_until(*a, rng_a, VertexCovered{}, 500'000, 1);
+  // A big stride drives b in step_many chunks. The trajectory is
+  // rng-driven identically (the driver draws nothing), so the covered step
+  // must coincide; only where b *stops* may overshoot to its chunk
+  // boundary.
+  const bool done_b = run_until(*b, rng_b, VertexCovered{}, 500'000, 4096);
+  EXPECT_EQ(done_a, done_b);
+  EXPECT_EQ(a->cover().vertex_cover_step(), b->cover().vertex_cover_step());
+  EXPECT_GE(b->steps(), a->steps());
+  EXPECT_LE(b->steps() - a->steps(), 4096u);
+}
+
+// ---- O(1) eviction vs reference scan-based partition ---------------------
+
+// The pre-optimisation evict: scan the blue prefix for the slot carrying the
+// edge, swap it with the last blue position. Kept here as the executable
+// specification the O(1) index must match move-for-move.
+class ReferencePartition {
+ public:
+  explicit ReferencePartition(const Graph& g)
+      : order_(2 * static_cast<std::size_t>(g.num_edges())),
+        blue_count_(g.num_vertices()) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const std::uint32_t off = g.slot_offset(v);
+      const std::uint32_t d = g.degree(v);
+      blue_count_[v] = d;
+      for (std::uint32_t k = 0; k < d; ++k) order_[off + k] = k;
+    }
+  }
+
+  std::uint32_t blue_count(Vertex v) const { return blue_count_[v]; }
+
+  Slot blue_slot(const Graph& g, Vertex v, std::uint32_t p) const {
+    return g.slot(v, order_[g.slot_offset(v) + p]);
+  }
+
+  void mark_edge_visited(const Graph& g, EdgeId e) {
+    const auto [u, v] = g.endpoints(e);
+    evict(g, u, e);
+    evict(g, u == v ? u : v, e);
+  }
+
+ private:
+  void evict(const Graph& g, Vertex owner, EdgeId edge) {
+    const std::uint32_t off = g.slot_offset(owner);
+    const std::uint32_t b = blue_count_[owner];
+    for (std::uint32_t p = 0; p < b; ++p) {
+      const std::uint32_t k = order_[off + p];
+      if (g.slot(owner, k).edge == edge) {
+        const std::uint32_t last = b - 1;
+        order_[off + p] = order_[off + last];
+        order_[off + last] = k;
+        blue_count_[owner] = last;
+        return;
+      }
+    }
+    FAIL() << "reference evict: edge not blue at owner";
+  }
+
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> blue_count_;
+};
+
+TEST(BluePartitionIdentity, MatchesReferenceScanMoveForMoveOnMultigraph) {
+  const Graph g = messy_multigraph();
+  BluePartition fast(g);
+  ReferencePartition ref(g);
+  Rng rng(2718);
+
+  // Evict edges one at a time in a random order, from a random blue vertex's
+  // prefix, comparing the full blue prefix of every vertex after each move
+  // (self-loops evict two slots of one vertex; parallel edges are distinct
+  // edge ids at the same endpoints).
+  std::vector<EdgeId> edges(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = e;
+  rng.shuffle(std::span<EdgeId>(edges));
+
+  for (const EdgeId e : edges) {
+    fast.mark_edge_visited(g, e);
+    ref.mark_edge_visited(g, e);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(fast.blue_count(v), ref.blue_count(v)) << "vertex " << v;
+      for (std::uint32_t p = 0; p < fast.blue_count(v); ++p) {
+        ASSERT_EQ(fast.blue_slot(g, v, p).edge, ref.blue_slot(g, v, p).edge)
+            << "vertex " << v << " position " << p;
+      }
+    }
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(fast.blue_count(v), 0u);
+}
+
+TEST(BluePartitionIdentity, FillCandidatesMatchesBlueSlotEnumeration) {
+  const Graph g = messy_multigraph();
+  BluePartition blue(g);
+  Rng rng(161803);
+  std::vector<Slot> scratch;
+  scratch.reserve(g.max_degree());
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) blue.mark_edge_visited(g, e);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    blue.fill_candidates(g, v, scratch);
+    ASSERT_EQ(scratch.size(), blue.blue_count(v));
+    for (std::uint32_t p = 0; p < blue.blue_count(v); ++p) {
+      EXPECT_EQ(scratch[p].edge, blue.blue_slot(g, v, p).edge);
+      EXPECT_EQ(scratch[p].neighbor, blue.blue_slot(g, v, p).neighbor);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ewalk
+
+#endif  // EWALK_GOLDEN_PRINT

@@ -4,10 +4,15 @@
 //
 // Usage:
 //   ewalk --graph <family> [graph params] --process <process> [walk params]
-//         [--trials N] [--seed S] [--target vertices|edges|coalescence]
+//         [--trials N] [--threads T] [--seed S]
+//         [--target vertices|edges|coalescence]
 //         [--start V] [--max-steps B] [--csv out.csv] [--profile]
 //
 // (--walk is accepted as a synonym for --process.)
+//
+// Trials run through the experiment harness's run_trials on the persistent
+// thread pool: trial t's RNG stream is a pure function of (--seed, t), so
+// --threads changes wall time only, never the reported samples.
 //
 // Graph families and walk processes are dispatched through the engine
 // registries (src/engine/registry.hpp); `ewalk --help` lists every
@@ -24,11 +29,14 @@
 //   ewalk --graph hamunion --n 50000 --k 3 --process multi-eprocess --walkers 8
 //   ewalk --graph complete --n 1024 --process coalescing-srw --tokens 32
 //   ewalk --graph cycle --n 257 --process herman --tokens 3
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <numeric>
 #include <string>
 
 #include "analysis/profile.hpp"
+#include "covertime/experiment.hpp"
 #include "engine/budget.hpp"
 #include "engine/driver.hpp"
 #include "engine/params.hpp"
@@ -38,6 +46,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -47,9 +56,10 @@ void print_help() {
   std::printf(
       "ewalk — run any registered walk process on any graph family\n\n"
       "usage: ewalk --graph <family> [graph params] --process <name> [walk params]\n"
-      "             [--trials N] [--seed S] [--target vertices|edges|coalescence]\n"
+      "             [--trials N] [--threads T] [--seed S]\n"
+      "             [--target vertices|edges|coalescence]\n"
       "             [--max-steps B] [--csv out.csv] [--profile]\n"
-      "       (--walk is a synonym for --process)\n\n");
+      "       (--walk is a synonym for --process; --threads 0 = all cores)\n\n");
   std::printf("graph families (--graph):\n");
   for (const auto& e : GeneratorRegistry::instance().entries())
     std::printf("  %-12s %-22s %s\n", e.name.c_str(), e.params_help.c_str(),
@@ -98,49 +108,56 @@ int main(int argc, char** argv) {
     }
 
     // Token processes default to the coalescence target; everything else to
-    // vertex cover. Decided from the first trial's process, so no throwaway
-    // construction.
+    // vertex cover. Decided from a probe construction before the trials, so
+    // the parallel executor below can be planned up front — the probe also
+    // surfaces bad --process/--rule/--target combinations on the main
+    // thread, where they can be reported, instead of inside a pool worker.
     std::string target = cli.get("target", "");
-    bool edges = false;
-    bool coalescence = false;
-
-    const std::uint64_t budget = cli.get_u64("max-steps", default_step_budget(g));
-    std::vector<double> covers, steps, meetings;
-    std::uint32_t unfinished = 0;
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      Rng rng(cli.get_u64("seed", 1) * 733 + t);
-      auto walk = ProcessRegistry::instance().create(process, g, params, rng);
-      if (t == 0) {
-        if (target.empty())
-          target = dynamic_cast<TokenProcess*>(walk.get()) != nullptr
-                       ? "coalescence"
-                       : "vertices";
-        edges = target == "edges";
-        coalescence = target == "coalescence";
-      }
-      bool done;
-      std::uint64_t result_step;
-      if (coalescence) {
-        auto* tokens = dynamic_cast<TokenProcess*>(walk.get());
-        if (tokens == nullptr)
-          throw std::invalid_argument("--target coalescence needs an "
-                                      "interacting-token process");
-        done = run_until_process(*tokens, rng, CoalescedToOne{}, budget);
-        result_step = tokens->coalescence_step();
-        const std::uint64_t met = tokens->first_meeting_step();
-        meetings.push_back(static_cast<double>(met != kNotCovered ? met : budget));
-      } else if (edges) {
-        done = run_until(*walk, rng, EdgesCovered{}, budget);
-        result_step = walk->cover().edge_cover_step();
-      } else {
-        done = run_until(*walk, rng, VertexCovered{}, budget);
-        result_step = walk->cover().vertex_cover_step();
-      }
-      if (!done) ++unfinished;
-      // Unfinished trials contribute the budget, as measure_cover does.
-      covers.push_back(static_cast<double>(done ? result_step : budget));
-      steps.push_back(static_cast<double>(walk->steps()));
+    {
+      Rng probe_rng(cli.get_u64("seed", 1));
+      auto probe = ProcessRegistry::instance().create(process, g, params, probe_rng);
+      const bool is_token = dynamic_cast<TokenProcess*>(probe.get()) != nullptr;
+      if (target.empty()) target = is_token ? "coalescence" : "vertices";
+      if (target == "coalescence" && !is_token)
+        throw std::invalid_argument("--target coalescence needs an "
+                                    "interacting-token process");
     }
+    const bool edges = target == "edges";
+    const bool coalescence = target == "coalescence";
+
+    const std::uint32_t threads =
+        static_cast<std::uint32_t>(cli.get_int("threads", 1));
+    const std::uint64_t budget = cli.get_u64("max-steps", default_step_budget(g));
+    std::vector<double> steps(trials, 0.0), meetings(trials, 0.0);
+    std::atomic<std::uint32_t> unfinished{0};
+    WallTimer timer;
+    // One trial = one registry-constructed process on the shared graph,
+    // driven to the target. Trial t's stream depends only on (--seed, t).
+    const std::vector<double> covers = run_trials(
+        trials, threads, cli.get_u64("seed", 1),
+        [&](Rng& rng, std::uint32_t t) -> double {
+          auto walk = ProcessRegistry::instance().create(process, g, params, rng);
+          bool done;
+          std::uint64_t result_step;
+          if (coalescence) {
+            auto& tokens = dynamic_cast<TokenProcess&>(*walk);
+            done = run_until_process(tokens, rng, CoalescedToOne{}, budget);
+            result_step = tokens.coalescence_step();
+            const std::uint64_t met = tokens.first_meeting_step();
+            meetings[t] = static_cast<double>(met != kNotCovered ? met : budget);
+          } else if (edges) {
+            done = run_until(*walk, rng, EdgesCovered{}, budget);
+            result_step = walk->cover().edge_cover_step();
+          } else {
+            done = run_until(*walk, rng, VertexCovered{}, budget);
+            result_step = walk->cover().vertex_cover_step();
+          }
+          if (!done) unfinished.fetch_add(1, std::memory_order_relaxed);
+          steps[t] = static_cast<double>(walk->steps());
+          // Unfinished trials contribute the budget, as measure_cover does.
+          return static_cast<double>(done ? result_step : budget);
+        });
+    const double wall_seconds = timer.seconds();
     const auto stats = summarize(covers);
     const char* quantity = coalescence ? "coalescence" : (edges ? "edge cover" : "vertex cover");
     std::printf("%s time over %u trials:\n", quantity, trials);
@@ -154,11 +171,15 @@ int main(int argc, char** argv) {
       const auto met = summarize(meetings);
       std::printf("  first meeting: mean %.0f   median %.0f\n", met.mean, met.median);
     }
-    if (unfinished > 0)
+    const double total_steps = std::accumulate(steps.begin(), steps.end(), 0.0);
+    std::printf("  throughput: %.3g steps/sec (%.0f steps, %.2fs wall, --threads %u)\n",
+                wall_seconds > 0 ? total_steps / wall_seconds : 0.0, total_steps,
+                wall_seconds, threads);
+    if (unfinished.load() > 0)
       std::printf("  WARNING: %u/%u trials did not finish within %llu steps;\n"
                   "  their samples (and the statistics above) are clamped to the\n"
                   "  budget — raise --max-steps for true values\n",
-                  unfinished, trials, static_cast<unsigned long long>(budget));
+                  unfinished.load(), trials, static_cast<unsigned long long>(budget));
 
     if (cli.has("csv")) {
       std::vector<std::string> header = {"trial", "result_step", "total_steps"};
