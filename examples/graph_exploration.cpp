@@ -26,16 +26,17 @@ using namespace ewalk;
 /// A custom adversary written against the public API: always walk the blue
 /// edge whose far endpoint has the *smallest* blue degree — steering the
 /// walk toward nearly-exhausted territory so fresh vertices stay hidden.
-/// (Rules can read anything through the view; they cannot mutate.)
+/// (Rules can read anything through the view; they cannot mutate. Candidates
+/// are read lazily via view.blue_slot(at, i) — no span is copied.)
 class StarveFreshVerticesRule final : public UnvisitedEdgeRule {
  public:
   explicit StarveFreshVerticesRule(const Graph&) {}
-  std::uint32_t choose(const EProcessView& view, Vertex,
-                       std::span<const Slot> candidates, Rng&) override {
+  std::uint32_t choose_index(const EProcessView& view, Vertex at,
+                             std::uint32_t blue_count, Rng&) override {
     std::uint32_t best = 0;
-    std::uint32_t best_score = score(view, candidates[0]);
-    for (std::uint32_t i = 1; i < candidates.size(); ++i) {
-      const std::uint32_t s = score(view, candidates[i]);
+    std::uint32_t best_score = score(view, view.blue_slot(at, 0));
+    for (std::uint32_t i = 1; i < blue_count; ++i) {
+      const std::uint32_t s = score(view, view.blue_slot(at, i));
       if (s < best_score) {
         best = i;
         best_score = s;

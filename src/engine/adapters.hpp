@@ -21,6 +21,7 @@ namespace ewalk {
 /// Owns a rule + EProcess pair and exposes them as a WalkProcess.
 class EProcessHandle final : public WalkProcess {
  public:
+  /// Takes ownership of `rule` and starts an EProcess at `start` with it.
   EProcessHandle(const Graph& g, Vertex start,
                  std::unique_ptr<UnvisitedEdgeRule> rule,
                  EProcessOptions options = {})
@@ -36,7 +37,9 @@ class EProcessHandle final : public WalkProcess {
 
   /// The underlying walk, for colour/phase-aware callers.
   EProcess& walk() { return walk_; }
+  /// Read-only view of the underlying walk.
   const EProcess& walk() const { return walk_; }
+  /// The owned choice rule.
   const UnvisitedEdgeRule& rule() const { return *rule_; }
 
  private:
@@ -47,6 +50,7 @@ class EProcessHandle final : public WalkProcess {
 /// Owns a rule + MultiEProcess pair and exposes them as a WalkProcess.
 class MultiEProcessHandle final : public WalkProcess {
  public:
+  /// Takes ownership of `rule` and starts one walker per entry of `starts`.
   MultiEProcessHandle(const Graph& g, std::vector<Vertex> starts,
                       std::unique_ptr<UnvisitedEdgeRule> rule)
       : rule_(std::move(rule)), walk_(g, std::move(starts), *rule_) {}
@@ -59,7 +63,9 @@ class MultiEProcessHandle final : public WalkProcess {
   const Graph& graph() const override { return walk_.graph(); }
   std::string_view name() const override { return "multi-eprocess"; }
 
+  /// The underlying multi-walker process.
   MultiEProcess& walk() { return walk_; }
+  /// Read-only view of the underlying multi-walker process.
   const MultiEProcess& walk() const { return walk_; }
 
  private:

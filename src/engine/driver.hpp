@@ -36,6 +36,7 @@ namespace ewalk {
 
 /// All n vertices visited.
 struct VertexCovered {
+  /// True once every vertex has been visited.
   bool operator()(const CoverState& c) const noexcept {
     return c.all_vertices_covered();
   }
@@ -43,6 +44,7 @@ struct VertexCovered {
 
 /// All m edges traversed.
 struct EdgesCovered {
+  /// True once every edge has been traversed.
   bool operator()(const CoverState& c) const noexcept {
     return c.all_edges_covered();
   }
@@ -51,7 +53,8 @@ struct EdgesCovered {
 /// Every vertex visited at least `count` times (blanket-style target; the
 /// check is O(n), so pair it with a stride — see visit_count_stride below).
 struct MinVisitCountAtLeast {
-  std::uint32_t count;
+  std::uint32_t count;  ///< required minimum visits per vertex
+  /// True once min_visit_count() reaches the target.
   bool operator()(const CoverState& c) const noexcept {
     return c.min_visit_count() >= count;
   }
@@ -60,7 +63,8 @@ struct MinVisitCountAtLeast {
 /// Conjunction of predicates: stop when every sub-predicate holds.
 template <typename... Preds>
 struct AllOf {
-  std::tuple<Preds...> preds;
+  std::tuple<Preds...> preds;  ///< the composed sub-predicates
+  /// True iff every sub-predicate holds on c.
   bool operator()(const CoverState& c) const {
     return std::apply([&](const auto&... p) { return (p(c) && ...); }, preds);
   }
@@ -69,17 +73,20 @@ struct AllOf {
 /// Disjunction of predicates: stop as soon as any sub-predicate holds.
 template <typename... Preds>
 struct AnyOf {
-  std::tuple<Preds...> preds;
+  std::tuple<Preds...> preds;  ///< the composed sub-predicates
+  /// True iff some sub-predicate holds on c.
   bool operator()(const CoverState& c) const {
     return std::apply([&](const auto&... p) { return (p(c) || ...); }, preds);
   }
 };
 
+/// Composes predicates conjunctively: all_of(VertexCovered{}, EdgesCovered{}).
 template <typename... Preds>
 AllOf<Preds...> all_of(Preds... preds) {
   return AllOf<Preds...>{std::tuple<Preds...>(preds...)};
 }
 
+/// Composes predicates disjunctively: any_of(VertexCovered{}, EdgesCovered{}).
 template <typename... Preds>
 AnyOf<Preds...> any_of(Preds... preds) {
   return AnyOf<Preds...>{std::tuple<Preds...>(preds...)};
@@ -145,11 +152,13 @@ bool run_until(Process& process, Predicate predicate, std::uint64_t max_steps,
 
 // ---- Convenience wrappers (the legacy member-loop surface) ---------------
 
+/// Runs until every vertex is visited (or the budget runs out).
 template <typename Process>
 bool run_until_vertex_cover(Process& process, Rng& rng, std::uint64_t max_steps) {
   return run_until(process, rng, VertexCovered{}, max_steps);
 }
 
+/// Runs until every edge is traversed (or the budget runs out).
 template <typename Process>
 bool run_until_edge_cover(Process& process, Rng& rng, std::uint64_t max_steps) {
   return run_until(process, rng, EdgesCovered{}, max_steps);
@@ -169,12 +178,14 @@ bool run_until_visit_count(Process& process, Rng& rng, std::uint32_t count,
 // Rng-less overloads, restricted to deterministic processes (as the deleted
 // per-class API was: only RotorRouter and LocallyFairWalk had rng-less loops).
 
+/// Rng-less vertex-cover driver for deterministic processes.
 template <DeterministicProcess Process>
 bool run_until_vertex_cover(Process& process, std::uint64_t max_steps) {
   Rng unused(0);
   return run_until(process, unused, VertexCovered{}, max_steps);
 }
 
+/// Rng-less edge-cover driver for deterministic processes.
 template <DeterministicProcess Process>
 bool run_until_edge_cover(Process& process, std::uint64_t max_steps) {
   Rng unused(0);

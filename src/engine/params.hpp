@@ -15,25 +15,38 @@
 
 namespace ewalk {
 
+/// String key-value parameter bag for registry factories. Typed getters
+/// mirror util/cli.hpp; malformed values throw std::invalid_argument.
 class ParamMap {
  public:
+  /// Empty map: every getter returns its fallback.
   ParamMap() = default;
+  /// Adopts an existing key-value map (e.g. Cli::values()).
   explicit ParamMap(std::map<std::string, std::string> values)
       : values_(std::move(values)) {}
+  /// Literal construction: ParamMap{{"rule", "uniform"}, {"start", "0"}}.
   ParamMap(std::initializer_list<std::pair<const std::string, std::string>> kv)
       : values_(kv) {}
 
+  /// True iff `key` is present.
   bool has(const std::string& key) const { return values_.count(key) > 0; }
+  /// Sets (or overwrites) `key` to `value`.
   void set(const std::string& key, std::string value) {
     values_[key] = std::move(value);
   }
 
+  /// The raw string at `key`, or `fallback` when absent.
   std::string get(const std::string& key, const std::string& fallback) const;
+  /// `key` parsed as a signed integer, or `fallback` when absent.
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// `key` parsed as an unsigned integer, or `fallback` when absent.
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  /// `key` parsed as a double, or `fallback` when absent.
   double get_double(const std::string& key, double fallback) const;
+  /// `key` parsed as a bool ("true"/"1"/"yes"), or `fallback` when absent.
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// The underlying key-value map (for iteration / conversion).
   const std::map<std::string, std::string>& values() const { return values_; }
 
  private:

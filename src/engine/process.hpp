@@ -24,10 +24,17 @@
 #include "util/rng.hpp"
 #include "walks/cover_state.hpp"
 
+/// \namespace ewalk
+/// E-process cover-time lab: graphs, walk processes, the engine layer, and
+/// the experiment harness (conf_podc_BerenbrinkCF12 reproduction).
 namespace ewalk {
 
+/// The unified walk-process interface: one transition per step(), shared
+/// CoverState for progress, drivable by the generic driver and
+/// constructible by name through the registry.
 class WalkProcess {
  public:
+  /// Virtual base: processes are owned and destroyed polymorphically.
   virtual ~WalkProcess() = default;
 
   /// Performs one transition. Deterministic processes ignore `rng`.

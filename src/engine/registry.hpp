@@ -104,13 +104,19 @@ class NamedRegistry {
 using RegistryProcessFactory = std::function<std::unique_ptr<WalkProcess>(
     const Graph& g, const ParamMap& params, Rng& rng)>;
 
+/// Walk processes by name ("eprocess", "srw", ...): the CLI's --process /
+/// --walk dispatch and the construction path every bench and experiment
+/// uses.
 class ProcessRegistry : public detail::NamedRegistry<RegistryProcessFactory> {
  public:
+  /// Factory signature stored per entry.
   using Factory = RegistryProcessFactory;
 
   /// The global registry, populated with the built-in processes.
   static ProcessRegistry& instance();
 
+  /// Constructs process `name` on `g` with `params`; throws
+  /// std::invalid_argument (listing known names) for unknown `name`.
   std::unique_ptr<WalkProcess> create(const std::string& name, const Graph& g,
                                       const ParamMap& params, Rng& rng) const {
     return find(name).factory(g, params, rng);
@@ -120,16 +126,23 @@ class ProcessRegistry : public detail::NamedRegistry<RegistryProcessFactory> {
   ProcessRegistry() : NamedRegistry("--process") {}
 };
 
+/// Builds a graph family from parsed options; `rng` drives randomised
+/// constructions (random regular, G(n,p), geometric, ...).
 using GraphGeneratorFactory =
     std::function<Graph(const ParamMap& params, Rng& rng)>;
 
+/// Graph families by name ("regular", "cycle", "lps", ...): the CLI's
+/// --graph dispatch.
 class GeneratorRegistry : public detail::NamedRegistry<GraphGeneratorFactory> {
  public:
+  /// Factory signature stored per entry.
   using Factory = GraphGeneratorFactory;
 
   /// The global registry, populated with the built-in graph families.
   static GeneratorRegistry& instance();
 
+  /// Constructs graph family `name` with `params`; throws
+  /// std::invalid_argument (listing known names) for unknown `name`.
   Graph create(const std::string& name, const ParamMap& params, Rng& rng) const {
     return find(name).factory(params, rng);
   }

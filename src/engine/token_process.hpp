@@ -21,6 +21,9 @@
 
 namespace ewalk {
 
+/// WalkProcess extension for interacting-token processes (coalescing walks,
+/// Herman's protocol): adds the shrinking-population observables the
+/// token predicates below terminate on.
 class TokenProcess : public WalkProcess {
  public:
   /// Tokens still alive (monotonically non-increasing; >= 1 forever after
@@ -48,6 +51,7 @@ class TokenProcess : public WalkProcess {
 
 /// One token left: the coalescence (or Herman stabilisation) event.
 struct CoalescedToOne {
+  /// True once p.tokens_remaining() <= 1.
   template <typename Process>
   bool operator()(const Process& p) const {
     return p.tokens_remaining() <= 1;
@@ -56,7 +60,8 @@ struct CoalescedToOne {
 
 /// Population has shrunk to at most k tokens.
 struct TokensAtMost {
-  std::uint32_t k;
+  std::uint32_t k;  ///< population threshold (inclusive)
+  /// True once p.tokens_remaining() <= k.
   template <typename Process>
   bool operator()(const Process& p) const {
     return p.tokens_remaining() <= k;
@@ -65,6 +70,7 @@ struct TokensAtMost {
 
 /// Some pair of tokens has met at least once (first-meeting time).
 struct TokensHaveMet {
+  /// True once the process records a first meeting.
   template <typename Process>
   bool operator()(const Process& p) const {
     return p.first_meeting_step() != kNotCovered;

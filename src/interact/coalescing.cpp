@@ -31,10 +31,10 @@ void CoalescingRW::step(Rng& rng) {
 
 CoalescingEWalk::CoalescingEWalk(const Graph& g, std::vector<Vertex> starts,
                                  std::unique_ptr<UnvisitedEdgeRule> rule)
-    : g_(&g), rule_(std::move(rule)), tokens_(g, starts),
-      cover_(g.num_vertices(), g.num_edges()), blue_(g) {
+    : g_(&g), rule_(std::move(rule)),
+      uniform_rule_(rule_ != nullptr && rule_->uniform_over_candidates()),
+      tokens_(g, starts), cover_(g.num_vertices(), g.num_edges()), blue_(g) {
   if (!rule_) throw std::invalid_argument("CoalescingEWalk: rule is required");
-  scratch_candidates_.reserve(g.max_degree());
   for (const Vertex v : starts) cover_.visit_vertex(v, 0);
 }
 
@@ -44,8 +44,8 @@ void CoalescingEWalk::step(Rng& rng) {
   const Vertex v = tokens_.position(t);
   Vertex to;
   if (blue_.blue_count(v) > 0) {
-    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, cover_, steps_,
-                                         scratch_candidates_, rng);
+    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, uniform_rule_,
+                                         cover_, steps_, rng);
     blue_.mark_edge_visited(*g_, chosen.edge);
     cover_.visit_edge(chosen.edge, steps_);
     to = chosen.neighbor;

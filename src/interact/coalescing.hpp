@@ -118,6 +118,7 @@ class CoalescingEWalk final : public TokenProcess {
  private:
   const Graph* g_;
   std::unique_ptr<UnvisitedEdgeRule> rule_;
+  bool uniform_rule_;  // rule_->uniform_over_candidates(), hoisted once
   TokenSystem tokens_;
   TokenSystem::TokenId next_token_ = 0;
   std::uint64_t steps_ = 0;
@@ -125,7 +126,6 @@ class CoalescingEWalk final : public TokenProcess {
   std::uint64_t red_steps_ = 0;
   CoverState cover_;
   BluePartition blue_;  // shared colouring, as EProcess/MultiEProcess keep it
-  std::vector<Slot> scratch_candidates_;
 };
 
 }  // namespace ewalk

@@ -1,17 +1,19 @@
 // Rule dispatch over a BluePartition: the one blue-step chooser shared by
 // EProcess, MultiEProcess, and CoalescingEWalk.
 //
-// Rules that declare themselves uniform take the O(1) fast path — sampling
-// a position directly through the partition with the identical rng draw
-// (uniform(blue_count)) the span path's UniformRule would make, so both
-// paths produce the same walk bit-for-bit. Everything else gets the blue
-// candidate span materialised into the caller's scratch vector plus a
-// read-only view of the walk state.
+// The dispatch is index-based and lazy: the rule's choose_index() returns a
+// position into the blue prefix and reads any candidate it cares about in
+// O(1) through the EProcessView — no candidate span is ever materialised
+// (legacy span-only rules are adapted by UnvisitedEdgeRule's default
+// choose_index(), which rebuilds the span at the old cost). Rules that
+// declare themselves uniform skip even the virtual dispatch: the chooser
+// samples a position directly with the identical rng draw
+// (uniform(blue_count)) a uniform choose_index() would make, so both paths
+// produce the same walk bit-for-bit.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
-#include <vector>
 
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
@@ -22,21 +24,22 @@
 namespace ewalk {
 
 /// Chooses among the blue slots of v (blue_count(v) >= 1 required).
+/// `uniform_rule` is rule.uniform_over_candidates(), hoisted by the caller
+/// at construction so the hot path pays no per-step virtual query.
 inline Slot choose_blue_slot(const BluePartition& blue, const Graph& g,
                              Vertex v, UnvisitedEdgeRule& rule,
-                             const CoverState& cover, std::uint64_t steps,
-                             std::vector<Slot>& scratch, Rng& rng) {
+                             bool uniform_rule, const CoverState& cover,
+                             std::uint64_t steps, Rng& rng) {
   const std::uint32_t b = blue.blue_count(v);
-  if (rule.uniform_over_candidates()) {
+  if (uniform_rule) {
     const std::uint32_t p = static_cast<std::uint32_t>(rng.uniform(b));
     return blue.blue_slot(g, v, p);
   }
-  blue.fill_candidates(g, v, scratch);
-  const EProcessView view(g, cover, steps);
-  const std::uint32_t idx = rule.choose(view, v, scratch, rng);
+  const EProcessView view(g, cover, blue, steps);
+  const std::uint32_t idx = rule.choose_index(view, v, b, rng);
   if (idx >= b)
     throw std::logic_error("UnvisitedEdgeRule returned out-of-range index");
-  return scratch[idx];
+  return blue.blue_slot(g, v, idx);
 }
 
 }  // namespace ewalk

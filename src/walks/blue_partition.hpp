@@ -22,8 +22,9 @@
 // This is the state every unvisited-edge-preferring process shares —
 // EProcess, MultiEProcess, CoalescingEWalk — extracted here so the eviction
 // subtleties live in one place. The companion choose_blue_slot helper
-// (blue_choice.hpp) implements the rule dispatch with the uniform-rule
-// O(1) fast path on top of it.
+// (blue_choice.hpp) implements the index-based rule dispatch with the
+// uniform-rule O(1) fast path on top of it; blue_slot(g, v, p) is the O(1)
+// accessor index-based rules read candidates through.
 #pragma once
 
 #include <cassert>
@@ -70,9 +71,12 @@ class BluePartition {
     return g.slot(v, order_[g.slot_offset(v) + p]);
   }
 
-  /// Copies v's blue slots into `out` (resized to blue_count(v)) — the
-  /// candidate span handed to non-uniform rules. Callers keep one scratch
-  /// vector reserved to max_degree, so this never allocates.
+  /// \deprecated Copies v's blue slots into `out` (resized to
+  /// blue_count(v)). The index-based rule API reads slots lazily via
+  /// blue_slot(), so the walk hot paths no longer call this; it survives one
+  /// release as the executable definition of the candidate enumeration
+  /// order (blue_slot(g, v, p) for p = 0..blue_count-1) that index-based
+  /// rules must match, and for tests pinning that equivalence.
   void fill_candidates(const Graph& g, Vertex v, std::vector<Slot>& out) const {
     const std::uint32_t b = blue_count_[v];
     const std::uint32_t off = g.slot_offset(v);

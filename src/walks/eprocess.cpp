@@ -8,11 +8,11 @@ namespace ewalk {
 
 EProcess::EProcess(const Graph& g, Vertex start, UnvisitedEdgeRule& rule,
                    EProcessOptions options)
-    : g_(&g), rule_(&rule), options_(options), start_(start), current_(start),
+    : g_(&g), rule_(&rule), uniform_rule_(rule.uniform_over_candidates()),
+      options_(options), start_(start), current_(start),
       cover_(g.num_vertices(), g.num_edges()), blue_(g) {
   if (start >= g.num_vertices())
     throw std::invalid_argument("EProcess: start vertex out of range");
-  scratch_candidates_.reserve(g.max_degree());
   cover_.visit_vertex(start, 0);
 }
 
@@ -32,8 +32,8 @@ StepColor EProcess::step(Rng& rng) {
   StepColor color;
   Vertex to;
   if (blue_.blue_count(v) > 0) {
-    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, cover_, steps_,
-                                         scratch_candidates_, rng);
+    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, uniform_rule_,
+                                         cover_, steps_, rng);
     blue_.mark_edge_visited(*g_, chosen.edge);
     cover_.visit_edge(chosen.edge, steps_);
     to = chosen.neighbor;

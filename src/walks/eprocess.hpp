@@ -10,11 +10,16 @@
 // Implementation notes:
 //  * Per-vertex incident slots are kept partitioned blue-prefix/red-suffix
 //    (walks/blue_partition.hpp) with an O(1) swap on every edge visit, so a
-//    red step is O(1). A blue step is O(Δ) only for rules that inspect the
-//    candidate span; rules that declare themselves uniform (UniformRule)
-//    take an O(1) fast path that samples an index directly through the
-//    partition — with the identical rng draw, so both paths produce the
-//    same walk (walks/blue_choice.hpp).
+//    red step is O(1). Blue steps are index-based and lazy: the rule returns
+//    an index into the blue prefix via choose_index(), reading any candidate
+//    it cares about in O(1) through the view (EProcessView::blue_slot) — no
+//    rule ever copies the candidate span, so a blue step costs O(1) plus
+//    whatever the rule itself inspects (O(1) for uniform / first / last /
+//    round-robin; O(blue_count) for rules that scan every candidate).
+//    Rules that declare themselves uniform (UniformRule) additionally skip
+//    the virtual dispatch: the walk samples the position directly with the
+//    identical rng draw, so both paths produce the same walk
+//    (walks/blue_choice.hpp).
 //  * The walk distinguishes blue and red transitions, exposing t_R and t_B
 //    (Observation 12: t = t_R + t_B with t_B <= m), and can record maximal
 //    blue/red phases for invariant checking (Observation 10: on even-degree
@@ -24,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -35,55 +41,140 @@ namespace ewalk {
 
 /// Read-only view of walk state offered to choice rules (adversaries may
 /// inspect anything; they cannot mutate). Constructed by the walk each blue
-/// step; also usable by other unvisited-edge processes (MultiEProcess).
+/// step; also usable by other unvisited-edge processes (MultiEProcess,
+/// CoalescingEWalk). The view carries the walk's BluePartition, so rules can
+/// read any blue candidate lazily in O(1) via blue_slot() instead of
+/// receiving a materialised span.
 class EProcessView {
  public:
+  /// Full view: walk state plus the blue partition. This is what every blue
+  /// step constructs; blue_slot()/blue_count() are valid.
+  EProcessView(const Graph& graph, const CoverState& cover,
+               const BluePartition& blue, std::uint64_t steps)
+      : graph_(&graph), cover_(&cover), blue_(&blue), steps_(steps) {}
+
+  /// \deprecated Partition-less view, kept for one release for callers that
+  /// built views by hand (tests, instrumentation). blue_slot()/blue_count()
+  /// must not be called on such a view.
   EProcessView(const Graph& graph, const CoverState& cover, std::uint64_t steps)
-      : graph_(&graph), cover_(&cover), steps_(steps) {}
+      : graph_(&graph), cover_(&cover), blue_(nullptr), steps_(steps) {}
+
+  /// The graph the walk runs on.
   const Graph& graph() const { return *graph_; }
+  /// Cover-progress bookkeeping (visited flags, visit counts, cover steps).
   const CoverState& cover() const { return *cover_; }
+  /// Transitions made so far, counting the in-flight one.
   std::uint64_t steps() const { return steps_; }
 
+  /// True iff this view can answer blue_count()/blue_slot() queries.
+  bool has_blue_partition() const { return blue_ != nullptr; }
+
+  /// Number of blue (unvisited) edges incident with v right now. O(1).
+  /// Throws std::logic_error on a deprecated partition-less view.
+  std::uint32_t blue_count(Vertex v) const {
+    return partition().blue_count(v);
+  }
+
+  /// The i-th blue slot of v, 0 <= i < blue_count(v). O(1); the enumeration
+  /// order is exactly the order the old candidate span was filled in, so
+  /// index-based rules are choice-for-choice identical to span rules.
+  /// Throws std::logic_error on a deprecated partition-less view.
+  Slot blue_slot(Vertex v, std::uint32_t i) const {
+    return partition().blue_slot(*graph_, v, i);
+  }
+
  private:
+  const BluePartition& partition() const {
+    // One predictable branch per query; a diagnosable error beats the
+    // Release-mode null dereference an assert would compile out to.
+    if (blue_ == nullptr)
+      throw std::logic_error(
+          "EProcessView: blue_slot/blue_count need the partition-carrying "
+          "constructor (the partition-less one is deprecated)");
+    return *blue_;
+  }
+
   const Graph* graph_;
   const CoverState* cover_;
+  const BluePartition* blue_;
   std::uint64_t steps_;
 };
 
 /// Rule A: chooses among the blue (unvisited) edges at the current vertex.
-/// `candidates` are the blue slots of `at` (size >= 1); return an index into
-/// it. Rules may use the rng (uniform rule), internal state (round-robin),
-/// or the full walk state (adversary).
+///
+/// The primary API is index-based and lazy: choose_index() receives the
+/// number of blue candidates at `at` (>= 1) and returns an index into the
+/// blue prefix, reading any candidate it needs in O(1) through
+/// view.blue_slot(at, i). No span is materialised, so a blue step costs
+/// O(1) plus only what the rule actually inspects. Rules may use the rng
+/// (uniform rule), internal state (round-robin), or the full walk state
+/// (adversary) — Theorem 1's cover bound is independent of the rule.
+///
+/// Migration: the span-consuming choose() overload is deprecated and kept
+/// for one release. Legacy rules that only override choose() keep working —
+/// the default choose_index() materialises the candidates into an internal
+/// scratch vector and delegates, reproducing the old span path draw-for-draw
+/// (at the old O(blue_count) copy cost).
 class UnvisitedEdgeRule {
  public:
   virtual ~UnvisitedEdgeRule() = default;
+
+  /// Chooses among the `blue_count` blue slots of `at` (blue_count >= 1);
+  /// returns an index in [0, blue_count). Candidate i is view.blue_slot(at,
+  /// i), available in O(1) — read only what the rule needs. Implementations
+  /// must draw from `rng` deterministically as a function of (visible walk
+  /// state, rule state), so walks stay reproducible per seed.
+  virtual std::uint32_t choose_index(const EProcessView& view, Vertex at,
+                                     std::uint32_t blue_count, Rng& rng);
+
+  /// \deprecated Span-consuming predecessor of choose_index(); the default
+  /// choose_index() adapts rules that only override this. Will be removed
+  /// next release — new rules must implement choose_index(). The default
+  /// implementation throws std::logic_error (a rule must override at least
+  /// one of the two). Note the adapter writes the rule-owned scratch
+  /// buffer, so a span-only rule instance — even a stateless one — must not
+  /// be shared across concurrently stepped walks (per-walk rule instances,
+  /// the registry/experiment convention, are unaffected).
   virtual std::uint32_t choose(const EProcessView& view, Vertex at,
-                               std::span<const Slot> candidates, Rng& rng) = 0;
+                               std::span<const Slot> candidates, Rng& rng);
+
   /// Human-readable rule name for bench output.
   virtual const char* name() const = 0;
-  /// True iff choose() is exactly one uniform draw over the candidates
-  /// (rng.uniform(candidates.size())) with no other state. Walks use this
-  /// to skip materialising the candidate span: they sample the index
-  /// directly, preserving the rng stream bit-for-bit.
+
+  /// True iff choose_index() is exactly one uniform draw over the candidates
+  /// (rng.uniform(blue_count)) with no other state. Walks use this to skip
+  /// the virtual dispatch entirely: they sample the position directly,
+  /// preserving the rng stream bit-for-bit.
   virtual bool uniform_over_candidates() const { return false; }
+
+ private:
+  std::vector<Slot> span_scratch_;  // deprecated adapter's candidate buffer
 };
 
 /// Transition colour of a step.
-enum class StepColor : std::uint8_t { kBlue, kRed };
+enum class StepColor : std::uint8_t {
+  kBlue,  ///< crossed a previously unvisited edge (and marked it visited)
+  kRed    ///< simple-random-walk step (no blue edge was available)
+};
 
 /// One maximal single-colour phase (for invariant checks / instrumentation).
 struct Phase {
-  StepColor color;
+  StepColor color;            ///< colour of every transition in the phase
   std::uint64_t first_step;   ///< step index of the phase's first transition
   std::uint64_t last_step;    ///< step index of the phase's last transition
   Vertex start_vertex;        ///< vertex occupied before the first transition
   Vertex end_vertex;          ///< vertex occupied after the last transition
 };
 
+/// Construction-time options for EProcess.
 struct EProcessOptions {
   bool record_phases = false;  ///< keep the full Phase log (O(#phases) memory)
 };
 
+/// The paper's E-process: one walker preferring unvisited ("blue") incident
+/// edges — chosen by an UnvisitedEdgeRule — with SRW fallback when none
+/// remain. Vertex cover is O(n) whp on even-degree connected graphs
+/// (Theorem 1), for every rule.
 class EProcess {
  public:
   /// The rule is borrowed and must outlive the process.
@@ -101,13 +192,20 @@ class EProcess {
     for (std::uint64_t i = 0; i < k; ++i) step(rng);
   }
 
+  /// Vertex the walk currently occupies.
   Vertex current() const { return current_; }
+  /// Vertex the walk started at.
   Vertex start_vertex() const { return start_; }
+  /// Transitions made so far.
   std::uint64_t steps() const { return steps_; }
+  /// Red (SRW-fallback) transitions made so far.
   std::uint64_t red_steps() const { return red_steps_; }
+  /// Blue (unvisited-edge) transitions made so far; t_B <= m (Obs. 12).
   std::uint64_t blue_steps() const { return blue_steps_; }
 
+  /// The graph the walk runs on.
   const Graph& graph() const { return *g_; }
+  /// Cover-progress bookkeeping.
   const CoverState& cover() const { return cover_; }
 
   /// Number of blue (unvisited) edges incident with v right now.
@@ -122,6 +220,7 @@ class EProcess {
 
   const Graph* g_;
   UnvisitedEdgeRule* rule_;
+  bool uniform_rule_;  // rule_->uniform_over_candidates(), hoisted once
   EProcessOptions options_;
   Vertex start_;
   Vertex current_;
@@ -130,7 +229,6 @@ class EProcess {
   std::uint64_t blue_steps_ = 0;
   CoverState cover_;
   BluePartition blue_;
-  std::vector<Slot> scratch_candidates_;  // blue slots handed to the rule
   std::vector<Phase> phases_;
 };
 

@@ -8,7 +8,8 @@ namespace ewalk {
 
 MultiEProcess::MultiEProcess(const Graph& g, std::vector<Vertex> starts,
                              UnvisitedEdgeRule& rule)
-    : g_(&g), rule_(&rule), positions_(std::move(starts)),
+    : g_(&g), rule_(&rule), uniform_rule_(rule.uniform_over_candidates()),
+      positions_(std::move(starts)),
       cover_(g.num_vertices(), g.num_edges()), blue_(g) {
   if (positions_.empty())
     throw std::invalid_argument("MultiEProcess: need at least one walker");
@@ -16,7 +17,6 @@ MultiEProcess::MultiEProcess(const Graph& g, std::vector<Vertex> starts,
     if (v >= g.num_vertices())
       throw std::invalid_argument("MultiEProcess: start vertex out of range");
   }
-  scratch_candidates_.reserve(g.max_degree());
   for (const Vertex v : positions_) cover_.visit_vertex(v, 0);
 }
 
@@ -28,8 +28,8 @@ StepColor MultiEProcess::step(Rng& rng) {
   StepColor color;
   Vertex to;
   if (blue_.blue_count(v) > 0) {
-    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, cover_, steps_,
-                                         scratch_candidates_, rng);
+    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, uniform_rule_,
+                                         cover_, steps_, rng);
     blue_.mark_edge_visited(*g_, chosen.edge);
     cover_.visit_edge(chosen.edge, steps_);
     to = chosen.neighbor;

@@ -53,6 +53,7 @@ class MultiEProcess {
  private:
   const Graph* g_;
   UnvisitedEdgeRule* rule_;
+  bool uniform_rule_;  // rule_->uniform_over_candidates(), hoisted once
   std::vector<Vertex> positions_;
   std::uint32_t next_walker_ = 0;
   std::uint64_t steps_ = 0;
@@ -60,7 +61,6 @@ class MultiEProcess {
   std::uint64_t red_steps_ = 0;
   CoverState cover_;
   BluePartition blue_;
-  std::vector<Slot> scratch_candidates_;
 };
 
 }  // namespace ewalk

@@ -1,6 +1,32 @@
-// Rules are header-only; this translation unit anchors the vtables.
+// Concrete rules are header-only; this translation unit anchors the vtables
+// and hosts the deprecated span adapter on the rule base class.
 #include "walks/rules.hpp"
 
+#include <stdexcept>
+
 namespace ewalk {
-// Intentionally empty: UnvisitedEdgeRule implementations are inline.
+
+// Deprecated span adapter: a rule that only overrides the legacy choose()
+// still works for one release — the candidates are materialised into the
+// rule's scratch vector (the old span path's copy, at the old O(blue_count)
+// cost) and handed over. Draw-for-draw identical to the removed span
+// dispatch, since the enumeration order of view.blue_slot() is the order
+// fill_candidates() produced.
+std::uint32_t UnvisitedEdgeRule::choose_index(const EProcessView& view,
+                                              Vertex at,
+                                              std::uint32_t blue_count,
+                                              Rng& rng) {
+  span_scratch_.resize(blue_count);
+  for (std::uint32_t i = 0; i < blue_count; ++i)
+    span_scratch_[i] = view.blue_slot(at, i);
+  return choose(view, at, span_scratch_, rng);
+}
+
+std::uint32_t UnvisitedEdgeRule::choose(const EProcessView&, Vertex,
+                                        std::span<const Slot>, Rng&) {
+  throw std::logic_error(
+      "UnvisitedEdgeRule: override choose_index() (or the deprecated span "
+      "choose())");
+}
+
 }  // namespace ewalk

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (CI's docs job).
+
+Checks that every relative link/image target in the given markdown files (or
+all *.md directly inside given directories) exists on disk, resolving
+against the file's own directory. External links (http/https/mailto) and
+pure in-page anchors (#...) are skipped — no network, no flakes. Exits
+non-zero listing every broken link.
+
+Usage: check_markdown_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target). Skips code spans by masking them first.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_RE = re.compile(r"(```.*?```|`[^`]*`)", re.DOTALL)
+
+
+def collect(paths):
+    files = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.glob("*.md")))
+        elif p.suffix == ".md":
+            files.append(p)
+        else:
+            print(f"warning: skipping non-markdown argument {p}")
+    return files
+
+
+def check_file(md):
+    broken = []
+    # Mask code spans but keep newlines so reported line numbers stay right.
+    text = CODE_RE.sub(lambda m: re.sub(r"[^\n]", " ", m.group(0)),
+                       md.read_text())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]  # strip in-page anchor
+        if not rel:
+            continue
+        if not (md.parent / rel).exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append(f"{md}:{line}: broken link -> {target}")
+    return broken
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        return 2
+    files = collect(sys.argv[1:])
+    if not files:
+        print("error: no markdown files found in arguments")
+        return 2
+    broken = [b for f in files for b in check_file(f)]
+    for b in broken:
+        print(b)
+    print(f"checked {len(files)} files: "
+          f"{'FAIL' if broken else 'OK'} ({len(broken)} broken)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
