@@ -6,9 +6,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "covertime/experiment.hpp"
+#include "graph/generators.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -39,6 +42,19 @@ inline std::unique_ptr<CsvWriter> open_csv(const std::string& name,
                                            std::vector<std::string> header) {
   std::filesystem::create_directories("bench_out");
   return std::make_unique<CsvWriter>("bench_out/" + name + ".csv", std::move(header));
+}
+
+/// Connected random r-regular graph factory for the sweep benches,
+/// selected by name: "pairing" (pairing model + edge-swap repair — the
+/// fast default) or "sw" (Steger–Wormald, the paper's reference generator).
+inline GraphFactory regular_factory(const std::string& generator, Vertex n,
+                                    std::uint32_t r) {
+  if (generator == "pairing")
+    return [n, r](Rng& rng) { return random_regular_pairing_connected(n, r, rng); };
+  if (generator == "sw")
+    return [n, r](Rng& rng) { return random_regular_connected(n, r, rng); };
+  throw std::invalid_argument("--generator must be pairing or sw, got: " +
+                              generator);
 }
 
 inline void print_header(const char* title, const char* paper_claim) {

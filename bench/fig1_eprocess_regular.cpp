@@ -6,63 +6,100 @@
 // (d=7). We print the same series plus a least-squares estimate of c for
 // each degree (the paper picked c "by inspection").
 //
+// The whole degree × size grid runs as ONE sweep (src/sweep/): every
+// (d, n, trial) unit is an independent pool task with graph construction
+// inside the task, so parallelism spans the grid instead of one point's
+// trials, and the per-trial rng streams make the samples identical for any
+// --threads. Results land in bench_out/SWEEP_fig1_eprocess_regular.{json,csv}
+// (schema: src/sweep/report.hpp; CI validates the JSON).
+//
 // Flags: --trials N --seed S --threads T --full (n up to 5*10^5, the
-// paper's range) — default sizes are laptop-CI friendly.
+// paper's range) --generator pairing|sw (default pairing — the edge-swap
+// generator that keeps large-n trial setup off the critical path; sw is the
+// paper's Steger–Wormald reference) --degrees 3,4,5,6,7 --ns n1,n2,...
+// — default sizes are laptop-CI friendly.
 #include <cmath>
+#include <memory>
 
 #include "bench/common.hpp"
-#include "covertime/experiment.hpp"
-#include "graph/generators.hpp"
+#include "engine/adapters.hpp"
+#include "sweep/report.hpp"
+#include "sweep/sweep.hpp"
 #include "walks/rules.hpp"
 
 using namespace ewalk;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
+  const Cli cli(argc, argv);
   const auto cfg = bench::parse_config(argc, argv);
   bench::print_header(
       "Figure 1: normalised E-process vertex cover time on d-regular graphs",
       "even d flat; odd d ~ c n ln n, c = 0.93 / 0.41 / 0.38 for d = 3/5/7");
 
-  const std::vector<Vertex> ns =
-      cfg.full ? std::vector<Vertex>{100000, 200000, 300000, 400000, 500000}
-               : std::vector<Vertex>{25000, 50000, 100000, 200000};
-  const std::vector<std::uint32_t> degrees{3, 4, 5, 6, 7};
+  const std::string generator = cli.get("generator", "pairing");
+  std::vector<std::uint64_t> ns =
+      cfg.full ? std::vector<std::uint64_t>{100000, 200000, 300000, 400000, 500000}
+               : std::vector<std::uint64_t>{25000, 50000, 100000, 200000};
+  std::vector<std::uint64_t> degrees{3, 4, 5, 6, 7};
+  if (cli.has("ns")) ns = parse_u64_list(cli.get("ns", ""));
+  if (cli.has("degrees")) degrees = parse_u64_list(cli.get("degrees", ""));
 
-  auto csv = bench::open_csv(
-      "fig1_eprocess_regular",
-      {"d", "n", "mean_cover", "ci95", "normalised_cover", "trials"});
+  std::vector<SweepPoint> points;
+  for (const std::uint64_t d : degrees) {
+    for (const std::uint64_t n : ns) {
+      SweepPoint point;
+      point.label = "d" + std::to_string(d) + "-n" + std::to_string(n);
+      point.params = {{"d", static_cast<double>(d)},
+                      {"n", static_cast<double>(n)}};
+      point.graph = bench::regular_factory(generator, static_cast<Vertex>(n),
+                                           static_cast<std::uint32_t>(d));
+      point.series.push_back(SweepSeriesSpec{
+          "eprocess",
+          [](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
+            return std::make_unique<EProcessHandle>(
+                g, /*start=*/0, std::make_unique<UniformRule>());
+          },
+          CoverTarget::kVertices});
+      points.push_back(std::move(point));
+    }
+  }
 
+  SweepConfig sc;
+  sc.trials = cfg.trials;
+  sc.threads = cfg.threads;
+  sc.master_seed = cfg.seed;
+  const SweepResult result = run_sweep("fig1_eprocess_regular", points, sc);
+
+  std::printf("generator: %s\n", generator.c_str());
   std::printf("%3s %9s %14s %12s %14s\n", "d", "n", "C_V (mean)", "+/-95%",
               "C_V / n");
-  WallTimer timer;
-  for (const std::uint32_t d : degrees) {
+  std::size_t idx = 0;
+  for (const std::uint64_t d : degrees) {
     std::vector<double> xs, ys;
-    for (const Vertex n : ns) {
-      CoverExperimentConfig ec;
-      ec.trials = cfg.trials;
-      ec.threads = cfg.threads;
-      ec.master_seed = cfg.seed * 1000003 + d * 101 + n;
-      const GraphFactory graphs = [n, d](Rng& rng) {
-        return random_regular_connected(n, d, rng);
-      };
-      const RuleFactory rules = [](const Graph&) {
-        return std::make_unique<UniformRule>();
-      };
-      const auto res = measure_eprocess_cover(graphs, rules, ec);
-      const double norm = res.stats.mean / n;
-      std::printf("%3u %9u %14.0f %12.0f %14.3f\n", d, n, res.stats.mean,
-                  res.stats.ci95_halfwidth(), norm);
-      csv->row({static_cast<double>(d), static_cast<double>(n), res.stats.mean,
-                res.stats.ci95_halfwidth(), norm, static_cast<double>(cfg.trials)});
-      xs.push_back(n);
-      ys.push_back(res.stats.mean);
+    for (const std::uint64_t n : ns) {
+      const SweepSeriesResult& sr = result.points[idx++].series.front();
+      std::printf("%3llu %9llu %14.0f %12.0f %14.3f\n",
+                  static_cast<unsigned long long>(d),
+                  static_cast<unsigned long long>(n), sr.stats.mean,
+                  sr.stats.ci95_halfwidth(),
+                  sr.stats.mean / static_cast<double>(n));
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(sr.stats.mean);
     }
-    const auto fit = fit_c_nlogn(xs, ys);
-    std::printf("  -> fit C_V/n = c ln n + b: c = %.3f, b = %.2f, R^2 = %.3f%s\n\n",
-                fit.slope, fit.intercept, fit.r_squared,
-                (d % 2 == 0) ? "  (even d: expect c ~ 0)" : "");
+    if (xs.size() >= 2) {
+      const auto fit = fit_c_nlogn(xs, ys);
+      std::printf(
+          "  -> fit C_V/n = c ln n + b: c = %.3f, b = %.2f, R^2 = %.3f%s\n\n",
+          fit.slope, fit.intercept, fit.r_squared,
+          (d % 2 == 0) ? "  (even d: expect c ~ 0)" : "");
+    }
   }
-  std::printf("total bench time: %.1fs; CSV: bench_out/fig1_eprocess_regular.csv\n",
-              timer.seconds());
+  const std::string json = write_sweep_json(result);
+  const std::string csv = write_sweep_csv(result);
+  print_sweep_timing_split(result);
+  std::printf("wrote %s and %s\n", json.c_str(), csv.c_str());
   return 0;
+} catch (const std::exception& ex) {
+  std::fprintf(stderr, "error: %s\n", ex.what());
+  return 1;
 }

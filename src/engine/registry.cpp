@@ -139,6 +139,13 @@ void register_builtin_generators(GeneratorRegistry& r) {
               static_cast<Vertex>(p.get_u64("n", 10000)),
               static_cast<std::uint32_t>(p.get_u64("r", 4)), rng);
         });
+  r.add("regular-pairing", "--n --r",
+        "random r-regular (pairing model + edge-swap repair), connected",
+        [](const ParamMap& p, Rng& rng) {
+          return random_regular_pairing_connected(
+              static_cast<Vertex>(p.get_u64("n", 10000)),
+              static_cast<std::uint32_t>(p.get_u64("r", 4)), rng);
+        });
   r.add("hamunion", "--n --k", "union of k random Hamiltonian cycles",
         [](const ParamMap& p, Rng& rng) {
           return hamiltonian_cycle_union(

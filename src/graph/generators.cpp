@@ -246,6 +246,166 @@ Graph random_regular_connected(Vertex n, std::uint32_t r, Rng& rng) {
   }
 }
 
+// ---- Pairing model with edge-swap repair ---------------------------------
+
+namespace {
+
+// Flat open-addressed multiplicity table over edge keys: the pairing
+// generator's hot structure. A node-based unordered_map makes generation
+// hash-allocation-bound (measured ~2x slower end to end); linear probing
+// over two preallocated arrays at load factor <= 0.5 keeps the whole first
+// pass cache-friendly. Slots are never reclaimed — a decremented-to-zero
+// key stays as a placeholder so probe chains remain valid — which is fine
+// here: the repair inserts only O(defects) keys beyond the initial m.
+// At most one instance may be live per thread (the backing storage is
+// thread_local); pairing_repair_attempt's single function-local table
+// satisfies this by construction.
+class EdgeCountTable {
+ public:
+  /// Table sized for `expected` distinct keys (capacity >= 2x, power of two).
+  /// Construction reuses the calling thread's storage from previous tables
+  /// (a sweep builds hundreds of same-sized graphs per thread; re-faulting
+  /// tens of MB of freshly mmapped pages per trial dominated construction),
+  /// so only the sentinel refill is paid, not the page faults.
+  explicit EdgeCountTable(std::size_t expected)
+      : keys_(thread_keys()), counts_(thread_counts()) {
+    std::size_t cap = 16;
+    while (cap < 2 * expected + 2) cap <<= 1;
+    mask_ = cap - 1;
+    keys_.assign(cap, kEmpty);
+    counts_.assign(cap, 0);
+  }
+
+  /// Current multiplicity of `key` (0 when absent).
+  std::uint32_t count(std::uint64_t key) const { return counts_[slot(key)]; }
+
+  /// Adds one occurrence of `key`.
+  void increment(std::uint64_t key) {
+    const std::size_t i = slot(key);
+    keys_[i] = key;
+    ++counts_[i];
+  }
+
+  /// Removes one occurrence of `key`. Precondition: count(key) > 0.
+  void decrement(std::uint64_t key) { --counts_[slot(key)]; }
+
+ private:
+  // kEmpty is unreachable as an edge key: both endpoints would have to be
+  // 0xFFFFFFFF, i.e. vertex ids of an n = 2^32 graph, beyond Vertex range.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  std::size_t slot(std::uint64_t key) const {
+    // SplitMix64 finalizer as the hash: edge keys are highly structured
+    // (high word = min endpoint), so identity hashing would cluster.
+    std::uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    std::size_t i = static_cast<std::size_t>(z) & mask_;
+    while (keys_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask_;
+    return i;
+  }
+
+  static std::vector<std::uint64_t>& thread_keys() {
+    static thread_local std::vector<std::uint64_t> keys;
+    return keys;
+  }
+  static std::vector<std::uint32_t>& thread_counts() {
+    static thread_local std::vector<std::uint32_t> counts;
+    return counts;
+  }
+
+  std::size_t mask_ = 0;
+  std::vector<std::uint64_t>& keys_;
+  std::vector<std::uint32_t>& counts_;
+};
+
+// One pairing pass followed by in-place 2-swap repair of the defective
+// (loop/duplicate) edges. Returns nullopt when the repair stalls — a
+// proposal budget guards against dense corner cases (r close to n) where no
+// valid replacement edge may exist — in which case the caller re-pairs.
+std::optional<std::vector<Endpoints>> pairing_repair_attempt(Vertex n,
+                                                             std::uint32_t r,
+                                                             Rng& rng) {
+  const std::size_t m = static_cast<std::size_t>(n) * r / 2;
+  std::vector<Vertex> stubs;
+  stubs.reserve(2 * m);
+  for (Vertex v = 0; v < n; ++v)
+    for (std::uint32_t i = 0; i < r; ++i) stubs.push_back(v);
+  rng.shuffle(std::span<Vertex>(stubs));
+
+  std::vector<Endpoints> edges(m);
+  EdgeCountTable count(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    edges[i] = Endpoints{stubs[2 * i], stubs[2 * i + 1]};
+    count.increment(edge_key(edges[i].u, edges[i].v));
+  }
+
+  const auto defective = [&](const Endpoints& e) {
+    return e.u == e.v || count.count(edge_key(e.u, e.v)) > 1;
+  };
+  std::vector<std::size_t> defects;
+  for (std::size_t i = 0; i < m; ++i)
+    if (defective(edges[i])) defects.push_back(i);
+
+  // The expected defect count after one pairing pass is Θ(r²) (independent
+  // of n) and each repair accepts with Ω(1) probability on sparse graphs,
+  // so the budget is generous; it only ever trips when the instance is so
+  // dense that valid swaps are scarce.
+  std::uint64_t budget = 200 * (defects.size() + 16);
+  while (!defects.empty()) {
+    const std::size_t i = defects.back();
+    if (!defective(edges[i])) {  // healed when its duplicate twin was swapped
+      defects.pop_back();
+      continue;
+    }
+    if (budget-- == 0) return std::nullopt;
+    const std::size_t j = static_cast<std::size_t>(rng.uniform(m));
+    if (j == i) continue;
+    const Endpoints d = edges[i];
+    const Endpoints s = edges[j];
+    if (defective(s)) continue;  // swap partners must be sound
+    // Random orientation of the 2-swap: {u,v},{x,y} -> {u,x},{v,y} or
+    // {u,y},{v,x}; both replacement edges must be new non-loops.
+    const bool flip = rng.uniform(2) == 1;
+    const Endpoints e1{d.u, flip ? s.v : s.u};
+    const Endpoints e2{d.v, flip ? s.u : s.v};
+    if (e1.u == e1.v || e2.u == e2.v) continue;
+    const std::uint64_t k1 = edge_key(e1.u, e1.v);
+    const std::uint64_t k2 = edge_key(e2.u, e2.v);
+    if (k1 == k2) continue;  // the two replacements would duplicate each other
+    if (count.count(k1) > 0 || count.count(k2) > 0) continue;
+    count.decrement(edge_key(d.u, d.v));
+    count.decrement(edge_key(s.u, s.v));
+    count.increment(k1);
+    count.increment(k2);
+    edges[i] = e1;
+    edges[j] = e2;
+    defects.pop_back();  // e1 is sound by construction; e2 likewise
+  }
+  return edges;
+}
+
+}  // namespace
+
+Graph random_regular_pairing(Vertex n, std::uint32_t r, Rng& rng) {
+  if (r >= n) throw std::invalid_argument("random_regular_pairing: need r < n");
+  if ((static_cast<std::uint64_t>(n) * r) % 2 != 0)
+    throw std::invalid_argument("random_regular_pairing: n*r must be even");
+  if (r == 0) return Graph::from_edges(n, {});
+  for (;;) {
+    auto edges = pairing_repair_attempt(n, r, rng);
+    if (edges) return Graph::from_edges(n, *edges);
+  }
+}
+
+Graph random_regular_pairing_connected(Vertex n, std::uint32_t r, Rng& rng) {
+  for (;;) {
+    Graph g = random_regular_pairing(n, r, rng);
+    if (is_connected(g)) return g;
+  }
+}
+
 Graph configuration_model(const std::vector<std::uint32_t>& degrees, Rng& rng,
                           bool simple) {
   std::uint64_t total = 0;

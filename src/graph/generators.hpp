@@ -85,6 +85,24 @@ Graph random_regular(Vertex n, std::uint32_t r, Rng& rng);
 /// the graph is connected whp, so this rarely loops).
 Graph random_regular_connected(Vertex n, std::uint32_t r, Rng& rng);
 
+/// Random r-regular simple graph via one pairing-model pass with edge-swap
+/// repair of collisions: stubs are matched in one shuffled pass, then each
+/// defective edge (self-loop or duplicate) is repaired by a random 2-swap
+/// with a sound edge, accepted only when both replacement edges are new
+/// non-loops. Expected O(n*r) end to end — the expected defect count after
+/// the pairing pass is Θ(r²), independent of n — where the restart-based
+/// Steger–Wormald generator above resamples whole attempts and becomes the
+/// dominant cost of large-n sweeps. Trade-off: the swap repair leaves the
+/// distribution asymptotically uniform but not exactly the restart
+/// distribution at finite n; random_regular stays the reference generator
+/// and tests/generators_test.cpp cross-validates degree invariants and
+/// cover-time samples between the two. Requires n*r even, r < n.
+Graph random_regular_pairing(Vertex n, std::uint32_t r, Rng& rng);
+
+/// Like random_regular_pairing but additionally retries until connected
+/// (r >= 3: connected whp, so this rarely loops).
+Graph random_regular_pairing_connected(Vertex n, std::uint32_t r, Rng& rng);
+
 /// Configuration (pairing) model over a fixed degree sequence. When `simple`
 /// is true, resamples until there are no loops/multi-edges (suitable for
 /// small maximum degree only — retry probability decays with Σd²);

@@ -1,0 +1,161 @@
+#include "sweep/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace ewalk {
+
+namespace {
+
+// Bench-controlled names are [a-z0-9-=.]; escape the JSON specials anyway so
+// a future caller with an exotic label cannot emit malformed JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+// %.17g round-trips doubles exactly; integral values print without noise.
+void print_double(std::FILE* f, double v) { std::fprintf(f, "%.17g", v); }
+
+}  // namespace
+
+std::string write_sweep_json(const SweepResult& result,
+                             const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  const std::string path = directory + "/SWEEP_" + result.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("write_sweep_json: cannot open " + path);
+
+  std::fprintf(f,
+               "{\n  \"sweep\": \"%s\",\n  \"version\": 1,\n"
+               "  \"seed\": %llu,\n  \"trials\": %u,\n  \"threads\": %u,\n"
+               "  \"reuse_graph\": %s,\n",
+               json_escape(result.name).c_str(),
+               static_cast<unsigned long long>(result.master_seed),
+               result.trials, result.threads,
+               result.reuse_graph ? "true" : "false");
+  std::fprintf(f, "  \"gen_seconds\": ");
+  print_double(f, result.gen_seconds);
+  std::fprintf(f, ",\n  \"walk_seconds\": ");
+  print_double(f, result.walk_seconds);
+  std::fprintf(f, ",\n  \"wall_seconds\": ");
+  print_double(f, result.wall_seconds);
+  std::fprintf(f, ",\n  \"points\": [\n");
+
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    const SweepPointResult& point = result.points[p];
+    std::fprintf(f, "    {\"label\": \"%s\", \"params\": {",
+                 json_escape(point.label).c_str());
+    for (std::size_t i = 0; i < point.params.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": ", i > 0 ? ", " : "",
+                   json_escape(point.params[i].name).c_str());
+      print_double(f, point.params[i].value);
+    }
+    std::fprintf(f, "}, \"gen_seconds\": ");
+    print_double(f, point.gen_seconds);
+    std::fprintf(f, ",\n     \"series\": [\n");
+    for (std::size_t s = 0; s < point.series.size(); ++s) {
+      const SweepSeriesResult& sr = point.series[s];
+      std::fprintf(f, "       {\"name\": \"%s\", \"mean\": ",
+                   json_escape(sr.name).c_str());
+      print_double(f, sr.stats.mean);
+      std::fprintf(f, ", \"ci95\": ");
+      print_double(f, sr.stats.ci95_halfwidth());
+      std::fprintf(f, ", \"median\": ");
+      print_double(f, sr.stats.median);
+      std::fprintf(f, ", \"min\": ");
+      print_double(f, sr.stats.min);
+      std::fprintf(f, ", \"max\": ");
+      print_double(f, sr.stats.max);
+      std::fprintf(f, ",\n        \"uncovered_trials\": %u, \"walk_seconds\": ",
+                   sr.uncovered_trials);
+      print_double(f, sr.walk_seconds);
+      std::fprintf(f, ", \"samples\": [");
+      for (std::size_t t = 0; t < sr.samples.size(); ++t) {
+        if (t > 0) std::fprintf(f, ", ");
+        print_double(f, sr.samples[t]);
+      }
+      std::fprintf(f, "]}%s\n", s + 1 < point.series.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", p + 1 < result.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+std::string write_sweep_csv(const SweepResult& result,
+                            const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  const std::string path = directory + "/SWEEP_" + result.name + ".csv";
+  std::vector<std::string> header{"label"};
+  if (!result.points.empty())
+    for (const SweepParam& param : result.points.front().params)
+      header.push_back(param.name);
+  for (const char* col : {"series", "mean", "ci95", "median", "min", "max",
+                          "uncovered_trials", "walk_seconds", "gen_seconds"})
+    header.push_back(col);
+
+  CsvWriter csv(path, std::move(header));
+  for (const SweepPointResult& point : result.points) {
+    for (const SweepSeriesResult& sr : point.series) {
+      std::vector<std::string> row{point.label};
+      for (const SweepParam& param : point.params)
+        row.push_back(std::to_string(param.value));
+      row.push_back(sr.name);
+      for (const double v : {sr.stats.mean, sr.stats.ci95_halfwidth(),
+                             sr.stats.median, sr.stats.min, sr.stats.max,
+                             static_cast<double>(sr.uncovered_trials),
+                             sr.walk_seconds, point.gen_seconds})
+        row.push_back(std::to_string(v));
+      csv.row(row);
+    }
+  }
+  return path;
+}
+
+void print_sweep_timing_split(const SweepResult& result) {
+  const double accounted = result.gen_seconds + result.walk_seconds;
+  std::printf(
+      "timing split: generation %.2fs (%.0f%%) vs walking %.2fs (%.0f%%) "
+      "task-seconds; %.2fs wall\n",
+      result.gen_seconds,
+      accounted > 0 ? 100.0 * result.gen_seconds / accounted : 0.0,
+      result.walk_seconds,
+      accounted > 0 ? 100.0 * result.walk_seconds / accounted : 0.0,
+      result.wall_seconds);
+}
+
+void print_sweep_table(const SweepResult& result) {
+  std::printf("%-18s %-16s %14s %12s %12s %6s\n", "point", "series", "mean",
+              "+/-95%", "mean/n", "unfin");
+  for (const SweepPointResult& point : result.points) {
+    double n = 0.0;
+    for (const SweepParam& param : point.params)
+      if (param.name == "n") n = param.value;
+    for (const SweepSeriesResult& sr : point.series) {
+      if (n > 0)
+        std::printf("%-18s %-16s %14.0f %12.0f %12.3f %6u\n",
+                    point.label.c_str(), sr.name.c_str(), sr.stats.mean,
+                    sr.stats.ci95_halfwidth(), sr.stats.mean / n,
+                    sr.uncovered_trials);
+      else
+        std::printf("%-18s %-16s %14.0f %12.0f %12s %6u\n", point.label.c_str(),
+                    sr.name.c_str(), sr.stats.mean, sr.stats.ci95_halfwidth(),
+                    "-", sr.uncovered_trials);
+    }
+  }
+  print_sweep_timing_split(result);
+}
+
+}  // namespace ewalk

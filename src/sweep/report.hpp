@@ -1,0 +1,53 @@
+// Sweep result persistence and reporting.
+//
+// Every sweep emits one machine-readable JSON file,
+// bench_out/SWEEP_<name>.json, that CI schema-validates
+// (tools/validate_bench_json.py) and uploads as a per-commit artifact, plus
+// an optional flat CSV for quick re-plotting. The JSON carries everything a
+// re-plot needs — per-point coordinates, per-series summary statistics AND
+// the raw trial samples — so a figure can be rebuilt (or two commits
+// diffed sample-for-sample) without re-running the sweep.
+//
+// SWEEP_*.json schema, version 1:
+//   { "sweep": str, "version": 1, "seed": u64, "trials": u32,
+//     "threads": u32, "reuse_graph": bool,
+//     "gen_seconds": f64, "walk_seconds": f64, "wall_seconds": f64,
+//     "points": [
+//       { "label": str, "params": { <name>: f64, ... }, "gen_seconds": f64,
+//         "series": [
+//           { "name": str, "mean": f64, "ci95": f64, "median": f64,
+//             "min": f64, "max": f64, "uncovered_trials": u32,
+//             "walk_seconds": f64, "samples": [f64, ...] }, ... ] }, ... ] }
+#pragma once
+
+#include <string>
+
+#include "sweep/sweep.hpp"
+
+namespace ewalk {
+
+/// Writes <directory>/SWEEP_<result.name>.json (creating the directory if
+/// needed) in the schema documented above; returns the path written.
+/// Throws std::runtime_error when the file cannot be opened.
+std::string write_sweep_json(const SweepResult& result,
+                             const std::string& directory = "bench_out");
+
+/// Writes <directory>/SWEEP_<result.name>.csv: one row per (point, series)
+/// with the point coordinates as leading columns (every point of a sweep
+/// must use the same coordinate names, which run_sweep callers guarantee by
+/// construction). Returns the path written.
+std::string write_sweep_csv(const SweepResult& result,
+                            const std::string& directory = "bench_out");
+
+/// Prints a generic per-point table of `result` to stdout: label, series,
+/// mean ±95% CI, normalised-by-n column when the point has an "n"
+/// coordinate, and the generation-vs-walk wall-clock split footer. Benches
+/// with figure-specific tables print their own and call this only for the
+/// footer via print_sweep_timing_split().
+void print_sweep_table(const SweepResult& result);
+
+/// Prints just the generation-vs-walk wall-clock split — the line that says
+/// whether graph construction dominates the sweep.
+void print_sweep_timing_split(const SweepResult& result);
+
+}  // namespace ewalk

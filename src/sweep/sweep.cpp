@@ -1,0 +1,151 @@
+#include "sweep/sweep.hpp"
+
+#include <optional>
+#include <thread>
+
+#include "engine/budget.hpp"
+#include "engine/driver.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ewalk {
+
+namespace {
+
+// What one unit task (one point, one trial) records for one series.
+struct SeriesCell {
+  double value = 0.0;
+  bool covered = false;
+  double walk_seconds = 0.0;
+};
+
+// What one unit task records in total. Units write disjoint slots of a
+// preallocated vector, so the pool needs no locking around results.
+struct UnitRecord {
+  double gen_seconds = 0.0;
+  std::vector<SeriesCell> cells;
+};
+
+}  // namespace
+
+Rng sweep_stream(std::uint64_t master_seed, std::uint64_t point,
+                 std::uint64_t trial, std::uint64_t role) {
+  // Fold each index into the state with one SplitMix64 step; the +1 keeps
+  // index 0 from degenerating into a plain re-hash of the previous state.
+  std::uint64_t h = master_seed;
+  for (const std::uint64_t v : {point, trial, role}) {
+    std::uint64_t s = h + 0x9E3779B97F4A7C15ULL * (v + 1);
+    h = splitmix64(s);
+  }
+  return Rng(h);
+}
+
+SweepResult run_sweep(const std::string& name,
+                      const std::vector<SweepPoint>& points,
+                      const SweepConfig& config) {
+  const std::uint32_t trials = config.trials;
+  const std::size_t total =
+      points.size() * static_cast<std::size_t>(trials);
+  std::vector<UnitRecord> records(total);
+
+  const auto unit = [&](std::uint32_t u) {
+    const std::size_t p = u / trials;
+    const std::uint32_t t = u % trials;
+    const SweepPoint& point = points[p];
+    UnitRecord& rec = records[u];
+    rec.cells.resize(point.series.size());
+
+    std::optional<Graph> shared;
+    if (config.reuse_graph) {
+      Rng graph_rng = sweep_stream(config.master_seed, p, t, 0);
+      WallTimer gen_timer;
+      shared.emplace(point.graph(graph_rng));
+      rec.gen_seconds = gen_timer.seconds();
+    }
+    for (std::size_t s = 0; s < point.series.size(); ++s) {
+      const SweepSeriesSpec& spec = point.series[s];
+      Graph local;
+      const Graph* g;
+      if (config.reuse_graph) {
+        g = &*shared;
+      } else {
+        Rng graph_rng = sweep_stream(config.master_seed, p, t, 2 * s + 2);
+        WallTimer gen_timer;
+        local = point.graph(graph_rng);
+        rec.gen_seconds += gen_timer.seconds();
+        g = &local;
+      }
+      Rng walk_rng = sweep_stream(config.master_seed, p, t, 2 * s + 1);
+      auto walk = spec.process(*g, walk_rng);
+      const std::uint64_t budget =
+          point.max_steps != 0 ? point.max_steps : default_step_budget(*g);
+      SeriesCell& cell = rec.cells[s];
+      WallTimer walk_timer;
+      bool done;
+      std::uint64_t result_step;
+      if (spec.target == CoverTarget::kVertices) {
+        done = run_until(*walk, walk_rng, VertexCovered{}, budget);
+        result_step = walk->cover().vertex_cover_step();
+      } else {
+        done = run_until(*walk, walk_rng, EdgesCovered{}, budget);
+        result_step = walk->cover().edge_cover_step();
+      }
+      cell.walk_seconds = walk_timer.seconds();
+      cell.covered = done;
+      cell.value = static_cast<double>(done ? result_step : budget);
+    }
+  };
+
+  std::uint32_t workers =
+      config.threads == 0 ? std::thread::hardware_concurrency() : config.threads;
+  if (workers == 0) workers = 1;
+
+  WallTimer sweep_timer;
+  if (total > 0) {
+    if (workers <= 1) {
+      for (std::size_t u = 0; u < total; ++u)
+        unit(static_cast<std::uint32_t>(u));
+    } else {
+      ThreadPool::instance().parallel_for(static_cast<std::uint32_t>(total),
+                                          workers, unit);
+    }
+  }
+
+  SweepResult out;
+  out.name = name;
+  out.master_seed = config.master_seed;
+  out.trials = trials;
+  out.threads = config.threads;
+  out.reuse_graph = config.reuse_graph;
+  out.wall_seconds = sweep_timer.seconds();
+  out.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const SweepPoint& point = points[p];
+    SweepPointResult pr;
+    pr.label = point.label;
+    pr.params = point.params;
+    pr.series.resize(point.series.size());
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const UnitRecord& rec = records[p * trials + t];
+      pr.gen_seconds += rec.gen_seconds;
+      for (std::size_t s = 0; s < point.series.size(); ++s) {
+        const SeriesCell& cell = rec.cells[s];
+        SweepSeriesResult& sr = pr.series[s];
+        sr.samples.push_back(cell.value);
+        sr.walk_seconds += cell.walk_seconds;
+        if (!cell.covered) ++sr.uncovered_trials;
+      }
+    }
+    for (std::size_t s = 0; s < point.series.size(); ++s) {
+      SweepSeriesResult& sr = pr.series[s];
+      sr.name = point.series[s].name;
+      sr.stats = summarize(sr.samples);
+      out.walk_seconds += sr.walk_seconds;
+    }
+    out.gen_seconds += pr.gen_seconds;
+    out.points.push_back(std::move(pr));
+  }
+  return out;
+}
+
+}  // namespace ewalk

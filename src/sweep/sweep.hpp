@@ -1,0 +1,114 @@
+// Parameter-sweep driver: the one scheduler every figure-scale experiment
+// runs through.
+//
+// A sweep is a grid of SweepPoints (e.g. Figure 1's degree × size grid);
+// each point names a graph factory and one or more measured series (process
+// + cover target). run_sweep flattens points × trials into independent unit
+// tasks and drains them on the persistent ThreadPool, so parallelism spans
+// the whole grid — not just the trials of one point — and per-trial graph
+// construction happens inside pool tasks instead of serially on the caller.
+//
+// Determinism: every rng used by a unit is derived by sweep_stream() as a
+// pure function of (master_seed, point index, trial index, role), never of
+// thread identity or scheduling order. Sweep samples are therefore
+// bit-identical across --threads 1 / 4 / hardware (pinned by
+// tests/sweep_test.cpp); only the wall-clock fields vary.
+//
+// Graph reuse: with SweepConfig::reuse_graph (the default) the unit builds
+// one graph per (point, trial) and runs every series of the point on it —
+// for a 3-series point that is 3× less generation work, and the head-to-head
+// comparison (SRW vs E-process on the *same* instance) is what Figure-1
+// style plots want. With reuse off each series draws an independent graph
+// from its own stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "covertime/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ewalk {
+
+/// One measured series at a sweep point: a named process driven to a cover
+/// target on the point's graph.
+struct SweepSeriesSpec {
+  std::string name;                              ///< series key, e.g. "eprocess"
+  ProcessFactory process;                        ///< fresh process per trial
+  CoverTarget target = CoverTarget::kVertices;   ///< what the trial measures
+};
+
+/// One machine-readable coordinate of a sweep point, e.g. {"n", 100000}.
+struct SweepParam {
+  std::string name;   ///< coordinate name (column key in SWEEP_*.json)
+  double value;       ///< coordinate value
+};
+
+/// One point of the parameter grid: a graph family instantiation plus the
+/// series measured on it.
+struct SweepPoint {
+  std::string label;                    ///< human-readable point id, e.g. "d3-n100000"
+  std::vector<SweepParam> params;       ///< machine-readable coordinates
+  GraphFactory graph;                   ///< fresh graph per trial (see reuse_graph)
+  std::vector<SweepSeriesSpec> series;  ///< processes measured on this point
+  std::uint64_t max_steps = 0;          ///< 0 = default_step_budget(g)
+};
+
+/// Sweep-wide execution configuration.
+struct SweepConfig {
+  std::uint32_t trials = 5;       ///< trials per point (the paper used 5)
+  std::uint32_t threads = 0;      ///< parallelism cap; 0 = hardware concurrency
+  std::uint64_t master_seed = 1;  ///< root of every derived stream
+  bool reuse_graph = true;        ///< one graph per (point, trial) shared by all series
+};
+
+/// Aggregate of one series at one point.
+struct SweepSeriesResult {
+  std::string name;                      ///< series key
+  SummaryStats stats;                    ///< over the per-trial samples
+  std::vector<double> samples;           ///< one per trial, trial order
+  std::uint32_t uncovered_trials = 0;    ///< trials clamped to the budget
+  double walk_seconds = 0.0;             ///< walking wall time, summed over trials
+};
+
+/// All series results at one point.
+struct SweepPointResult {
+  std::string label;                     ///< the point's label
+  std::vector<SweepParam> params;        ///< the point's coordinates
+  std::vector<SweepSeriesResult> series; ///< one entry per SweepSeriesSpec
+  double gen_seconds = 0.0;              ///< graph construction wall time, summed over trials
+};
+
+/// The complete sweep, including the generation-vs-walk wall-clock split
+/// (the number that tells whether graph construction dominates a sweep).
+struct SweepResult {
+  std::string name;                    ///< sweep name (file stem of SWEEP_<name>.json)
+  std::uint64_t master_seed = 0;       ///< seed the streams were derived from
+  std::uint32_t trials = 0;            ///< trials per point
+  std::uint32_t threads = 0;           ///< configured parallelism (0 = hardware)
+  bool reuse_graph = true;             ///< whether series shared per-trial graphs
+  double gen_seconds = 0.0;            ///< total graph-generation wall time (CPU-side, summed over tasks)
+  double walk_seconds = 0.0;           ///< total walking wall time (summed over tasks)
+  double wall_seconds = 0.0;           ///< elapsed wall time of the whole sweep
+  std::vector<SweepPointResult> points;///< one entry per SweepPoint, point order
+};
+
+/// Derives the rng stream for (point, trial, role) from the master seed —
+/// a pure function of its arguments, so which pool thread runs a unit can
+/// never change a sample. Roles: 0 = the shared per-(point, trial) graph
+/// stream; 2s+1 = the walk stream of series s; 2s+2 = the private graph
+/// stream of series s when reuse is off.
+Rng sweep_stream(std::uint64_t master_seed, std::uint64_t point,
+                 std::uint64_t trial, std::uint64_t role);
+
+/// Runs the sweep: points × trials unit tasks on the persistent ThreadPool
+/// (the calling thread participates; threads <= 1 runs inline). Trials that
+/// fail to reach their target within the step budget contribute the budget
+/// as their sample and are counted in uncovered_trials.
+SweepResult run_sweep(const std::string& name,
+                      const std::vector<SweepPoint>& points,
+                      const SweepConfig& config);
+
+}  // namespace ewalk

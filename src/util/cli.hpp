@@ -9,12 +9,39 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "engine/params.hpp"
 
 namespace ewalk {
+
+/// Parses a comma-separated list of unsigned integers ("3,4,8" -> {3, 4, 8}).
+/// Every token must be wholly numeric: a typo'd "1e5" or "10k" is an
+/// std::invalid_argument, never a silently truncated leading value.
+inline std::vector<std::uint64_t> parse_u64_list(const std::string& spec) {
+  std::vector<std::uint64_t> values;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+      throw std::invalid_argument("bad unsigned value in list: '" + token +
+                                  "' (want e.g. 3,4,8)");
+    try {
+      values.push_back(std::stoull(token));
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("value out of range in list: '" + token + "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
+}
 
 class Cli {
  public:

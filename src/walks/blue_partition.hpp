@@ -71,19 +71,6 @@ class BluePartition {
     return g.slot(v, order_[g.slot_offset(v) + p]);
   }
 
-  /// \deprecated Copies v's blue slots into `out` (resized to
-  /// blue_count(v)). The index-based rule API reads slots lazily via
-  /// blue_slot(), so the walk hot paths no longer call this; it survives one
-  /// release as the executable definition of the candidate enumeration
-  /// order (blue_slot(g, v, p) for p = 0..blue_count-1) that index-based
-  /// rules must match, and for tests pinning that equivalence.
-  void fill_candidates(const Graph& g, Vertex v, std::vector<Slot>& out) const {
-    const std::uint32_t b = blue_count_[v];
-    const std::uint32_t off = g.slot_offset(v);
-    out.resize(b);
-    for (std::uint32_t p = 0; p < b; ++p) out[p] = g.slot(v, order_[off + p]);
-  }
-
   /// Evicts e from the blue prefix of each endpoint with an O(1) swap. The
   /// edge occurs exactly once in each endpoint's slots — twice at the same
   /// vertex for a self-loop, which occupies two slots. Precondition: e is

@@ -28,8 +28,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <span>
-#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -47,17 +45,11 @@ namespace ewalk {
 /// receiving a materialised span.
 class EProcessView {
  public:
-  /// Full view: walk state plus the blue partition. This is what every blue
-  /// step constructs; blue_slot()/blue_count() are valid.
+  /// Full view: walk state plus the blue partition; blue_slot()/blue_count()
+  /// are always valid. This is what every blue step constructs.
   EProcessView(const Graph& graph, const CoverState& cover,
                const BluePartition& blue, std::uint64_t steps)
       : graph_(&graph), cover_(&cover), blue_(&blue), steps_(steps) {}
-
-  /// \deprecated Partition-less view, kept for one release for callers that
-  /// built views by hand (tests, instrumentation). blue_slot()/blue_count()
-  /// must not be called on such a view.
-  EProcessView(const Graph& graph, const CoverState& cover, std::uint64_t steps)
-      : graph_(&graph), cover_(&cover), blue_(nullptr), steps_(steps) {}
 
   /// The graph the walk runs on.
   const Graph& graph() const { return *graph_; }
@@ -66,34 +58,18 @@ class EProcessView {
   /// Transitions made so far, counting the in-flight one.
   std::uint64_t steps() const { return steps_; }
 
-  /// True iff this view can answer blue_count()/blue_slot() queries.
-  bool has_blue_partition() const { return blue_ != nullptr; }
-
   /// Number of blue (unvisited) edges incident with v right now. O(1).
-  /// Throws std::logic_error on a deprecated partition-less view.
-  std::uint32_t blue_count(Vertex v) const {
-    return partition().blue_count(v);
-  }
+  std::uint32_t blue_count(Vertex v) const { return blue_->blue_count(v); }
 
   /// The i-th blue slot of v, 0 <= i < blue_count(v). O(1); the enumeration
-  /// order is exactly the order the old candidate span was filled in, so
-  /// index-based rules are choice-for-choice identical to span rules.
-  /// Throws std::logic_error on a deprecated partition-less view.
+  /// order (partition order) is part of the rule-API contract — it is the
+  /// order the historical span path presented candidates in, so index-based
+  /// rules are choice-for-choice identical to their span ancestors.
   Slot blue_slot(Vertex v, std::uint32_t i) const {
-    return partition().blue_slot(*graph_, v, i);
+    return blue_->blue_slot(*graph_, v, i);
   }
 
  private:
-  const BluePartition& partition() const {
-    // One predictable branch per query; a diagnosable error beats the
-    // Release-mode null dereference an assert would compile out to.
-    if (blue_ == nullptr)
-      throw std::logic_error(
-          "EProcessView: blue_slot/blue_count need the partition-carrying "
-          "constructor (the partition-less one is deprecated)");
-    return *blue_;
-  }
-
   const Graph* graph_;
   const CoverState* cover_;
   const BluePartition* blue_;
@@ -102,19 +78,18 @@ class EProcessView {
 
 /// Rule A: chooses among the blue (unvisited) edges at the current vertex.
 ///
-/// The primary API is index-based and lazy: choose_index() receives the
-/// number of blue candidates at `at` (>= 1) and returns an index into the
-/// blue prefix, reading any candidate it needs in O(1) through
+/// The API is index-based and lazy: choose_index() receives the number of
+/// blue candidates at `at` (>= 1) and returns an index into the blue
+/// prefix, reading any candidate it needs in O(1) through
 /// view.blue_slot(at, i). No span is materialised, so a blue step costs
 /// O(1) plus only what the rule actually inspects. Rules may use the rng
 /// (uniform rule), internal state (round-robin), or the full walk state
 /// (adversary) — Theorem 1's cover bound is independent of the rule.
 ///
-/// Migration: the span-consuming choose() overload is deprecated and kept
-/// for one release. Legacy rules that only override choose() keep working —
-/// the default choose_index() materialises the candidates into an internal
-/// scratch vector and delegates, reproducing the old span path draw-for-draw
-/// (at the old O(blue_count) copy cost).
+/// (The span-consuming choose() predecessor and its adapter were removed
+/// after their one-release deprecation window; the candidate enumeration
+/// order it defined is preserved verbatim by blue_slot(), pinned by
+/// tests/rule_stream_identity_test.cpp against span-era twins.)
 class UnvisitedEdgeRule {
  public:
   virtual ~UnvisitedEdgeRule() = default;
@@ -125,18 +100,7 @@ class UnvisitedEdgeRule {
   /// must draw from `rng` deterministically as a function of (visible walk
   /// state, rule state), so walks stay reproducible per seed.
   virtual std::uint32_t choose_index(const EProcessView& view, Vertex at,
-                                     std::uint32_t blue_count, Rng& rng);
-
-  /// \deprecated Span-consuming predecessor of choose_index(); the default
-  /// choose_index() adapts rules that only override this. Will be removed
-  /// next release — new rules must implement choose_index(). The default
-  /// implementation throws std::logic_error (a rule must override at least
-  /// one of the two). Note the adapter writes the rule-owned scratch
-  /// buffer, so a span-only rule instance — even a stateless one — must not
-  /// be shared across concurrently stepped walks (per-walk rule instances,
-  /// the registry/experiment convention, are unaffected).
-  virtual std::uint32_t choose(const EProcessView& view, Vertex at,
-                               std::span<const Slot> candidates, Rng& rng);
+                                     std::uint32_t blue_count, Rng& rng) = 0;
 
   /// Human-readable rule name for bench output.
   virtual const char* name() const = 0;
@@ -146,9 +110,6 @@ class UnvisitedEdgeRule {
   /// the virtual dispatch entirely: they sample the position directly,
   /// preserving the rng stream bit-for-bit.
   virtual bool uniform_over_candidates() const { return false; }
-
- private:
-  std::vector<Slot> span_scratch_;  // deprecated adapter's candidate buffer
 };
 
 /// Transition colour of a step.

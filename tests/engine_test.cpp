@@ -121,17 +121,17 @@ TEST(EngineDriver, PredicatesCompose) {
 // ---- Uniform-rule fast path -----------------------------------------------
 
 // A rule with the same draw as UniformRule but *without* the fast-path
-// declaration, forcing the O(Δ) candidate-span path.
-class SpanUniformRule final : public UnvisitedEdgeRule {
+// declaration, forcing the generic virtual choose_index dispatch.
+class SlowUniformRule final : public UnvisitedEdgeRule {
  public:
-  std::uint32_t choose(const EProcessView&, Vertex, std::span<const Slot> candidates,
-                       Rng& rng) override {
-    return static_cast<std::uint32_t>(rng.uniform(candidates.size()));
+  std::uint32_t choose_index(const EProcessView&, Vertex,
+                             std::uint32_t blue_count, Rng& rng) override {
+    return static_cast<std::uint32_t>(rng.uniform(blue_count));
   }
-  const char* name() const override { return "span-uniform"; }
+  const char* name() const override { return "slow-uniform"; }
 };
 
-TEST(EngineFastPath, UniformFastPathMatchesSpanPathBitForBit) {
+TEST(EngineFastPath, UniformFastPathMatchesGenericDispatchBitForBit) {
   Rng grng(13);
   const Graph g = hamiltonian_cycle_union(150, 3, grng);
   for (const std::uint64_t seed : {2u, 77u}) {
@@ -140,8 +140,8 @@ TEST(EngineFastPath, UniformFastPathMatchesSpanPathBitForBit) {
     Rng ra(seed);
     ASSERT_TRUE(run_until_edge_cover(a, ra, 1u << 24));
 
-    SpanUniformRule span;
-    EProcess b(g, 0, span);  // materialises the candidate span
+    SlowUniformRule slow;
+    EProcess b(g, 0, slow);  // generic virtual dispatch, same draw
     Rng rb(seed);
     ASSERT_TRUE(run_until_edge_cover(b, rb, 1u << 24));
 

@@ -302,9 +302,9 @@ TEST(EProcess, DeterministicGivenSeedAndRule) {
 TEST(EProcess, RuleOutOfRangeIndexThrows) {
   class BadRule final : public UnvisitedEdgeRule {
    public:
-    std::uint32_t choose(const EProcessView&, Vertex, std::span<const Slot> c,
-                         Rng&) override {
-      return static_cast<std::uint32_t>(c.size());  // out of range
+    std::uint32_t choose_index(const EProcessView&, Vertex,
+                               std::uint32_t blue_count, Rng&) override {
+      return blue_count;  // out of range
     }
     const char* name() const override { return "bad"; }
   };
@@ -325,10 +325,13 @@ TEST(EProcess, ViewExposesState) {
   const Graph g = cycle_graph(5);
   UniformRule rule;
   EProcess walk(g, 0, rule);
-  const EProcessView view(walk.graph(), walk.cover(), walk.steps());
+  const BluePartition blue(g);  // fresh: every edge still blue
+  const EProcessView view(walk.graph(), walk.cover(), blue, walk.steps());
   EXPECT_EQ(&view.graph(), &g);
   EXPECT_EQ(view.steps(), 0u);
   EXPECT_TRUE(view.cover().vertex_visited(0));
+  EXPECT_EQ(view.blue_count(0), g.degree(0));
+  EXPECT_EQ(view.blue_slot(0, 0).edge, g.slot(0, 0).edge);
 }
 
 TEST(EProcess, GreedyRuleNeverSlowerThanMOnCycle) {

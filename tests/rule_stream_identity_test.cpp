@@ -8,12 +8,15 @@
 // recorded span path made.
 //
 // This suite pins that down by re-implementing each registry rule as a
-// *legacy twin* that overrides only the deprecated span choose() — i.e. the
+// *legacy twin* that overrides only a span-consuming choose() — i.e. the
 // rule exactly as it was written before the migration — and driving two
 // identically seeded walks: one with the shipped index-based rule, one with
-// the twin (which exercises UnvisitedEdgeRule's deprecated span adapter).
-// Positions, colours, blue/red counts, and the rng stream must coincide
-// step for step on:
+// the twin. The removed base-class span adapter lives on here as a
+// test-local shim (SpanRuleShim below): it materialises the candidates via
+// view.blue_slot() exactly as the deprecated adapter did, so the twins
+// still exercise the byte-for-byte pre-migration rule bodies against the
+// shipped rules. Positions, colours, blue/red counts, and the rng stream
+// must coincide step for step on:
 //   * the cycle (every blue step has <= 2 candidates),
 //   * the complete graph K_1000 (dense: the span the old path copied was
 //     ~10^3 slots — exactly where the lazy path pays off),
@@ -41,12 +44,34 @@ namespace {
 
 // ---- Legacy twins ----------------------------------------------------------
 //
-// Each overrides ONLY the deprecated span choose(), byte-for-byte the rule
-// bodies as they existed before the index migration. They run through the
-// base-class span adapter, so this suite also proves the adapter reproduces
-// the old dispatch.
+// SpanRuleShim replays the removed span-rule API: choose_index()
+// materialises the blue candidates into a scratch vector (the old span
+// path's copy, in blue_slot() enumeration order — the order the old
+// fill_candidates() produced) and delegates to a span-consuming choose().
+// Each twin overrides ONLY choose(), byte-for-byte the rule bodies as they
+// existed before the index migration, so the suite still proves the
+// index-based dispatch reproduces the historical span dispatch even though
+// the production adapter is gone.
 
-class LegacyUniform final : public UnvisitedEdgeRule {
+class SpanRuleShim : public UnvisitedEdgeRule {
+ public:
+  std::uint32_t choose_index(const EProcessView& view, Vertex at,
+                             std::uint32_t blue_count, Rng& rng) final {
+    scratch_.resize(blue_count);
+    for (std::uint32_t i = 0; i < blue_count; ++i)
+      scratch_[i] = view.blue_slot(at, i);
+    return choose(view, at, scratch_, rng);
+  }
+
+  /// The pre-migration entry point the twins implement.
+  virtual std::uint32_t choose(const EProcessView& view, Vertex at,
+                               std::span<const Slot> candidates, Rng& rng) = 0;
+
+ private:
+  std::vector<Slot> scratch_;
+};
+
+class LegacyUniform final : public SpanRuleShim {
  public:
   std::uint32_t choose(const EProcessView&, Vertex,
                        std::span<const Slot> candidates, Rng& rng) override {
@@ -57,7 +82,7 @@ class LegacyUniform final : public UnvisitedEdgeRule {
   // comparison also re-proves fast path == span path.
 };
 
-class LegacyFirst final : public UnvisitedEdgeRule {
+class LegacyFirst final : public SpanRuleShim {
  public:
   std::uint32_t choose(const EProcessView&, Vertex, std::span<const Slot>,
                        Rng&) override {
@@ -66,7 +91,7 @@ class LegacyFirst final : public UnvisitedEdgeRule {
   const char* name() const override { return "legacy-first"; }
 };
 
-class LegacyLast final : public UnvisitedEdgeRule {
+class LegacyLast final : public SpanRuleShim {
  public:
   std::uint32_t choose(const EProcessView&, Vertex,
                        std::span<const Slot> candidates, Rng&) override {
@@ -75,7 +100,7 @@ class LegacyLast final : public UnvisitedEdgeRule {
   const char* name() const override { return "legacy-last"; }
 };
 
-class LegacyRoundRobin final : public UnvisitedEdgeRule {
+class LegacyRoundRobin final : public SpanRuleShim {
  public:
   explicit LegacyRoundRobin(Vertex n) : next_(n, 0) {}
   std::uint32_t choose(const EProcessView&, Vertex at,
@@ -91,7 +116,7 @@ class LegacyRoundRobin final : public UnvisitedEdgeRule {
   std::vector<std::uint32_t> next_;
 };
 
-class LegacyAdversary final : public UnvisitedEdgeRule {
+class LegacyAdversary final : public SpanRuleShim {
  public:
   std::uint32_t choose(const EProcessView& view, Vertex,
                        std::span<const Slot> candidates, Rng&) override {
@@ -109,7 +134,7 @@ class LegacyAdversary final : public UnvisitedEdgeRule {
   const char* name() const override { return "legacy-adversary"; }
 };
 
-class LegacyGreedy final : public UnvisitedEdgeRule {
+class LegacyGreedy final : public SpanRuleShim {
  public:
   std::uint32_t choose(const EProcessView& view, Vertex,
                        std::span<const Slot> candidates, Rng& rng) override {
@@ -127,7 +152,7 @@ class LegacyGreedy final : public UnvisitedEdgeRule {
   const char* name() const override { return "legacy-greedy"; }
 };
 
-class LegacyPriority final : public UnvisitedEdgeRule {
+class LegacyPriority final : public SpanRuleShim {
  public:
   explicit LegacyPriority(std::vector<EdgeId> priority)
       : priority_(std::move(priority)) {}
@@ -306,32 +331,10 @@ TEST(RuleStreamIdentityMulti, CoalescingEWalkIndexPathMatchesSpanPath) {
   EXPECT_EQ(rng_new(), rng_old());
 }
 
-// A rule that overrides neither entry point is a contract violation the
-// base class reports loudly rather than looping silently.
-
-TEST(RuleContract, PartitionlessViewRejectsCandidateQueries) {
-  // The deprecated partition-less EProcessView cannot answer candidate
-  // queries; misuse must be a diagnosable error, not a null dereference.
-  const Graph g = cycle_graph(4);
-  UniformRule rule;
-  EProcess walk(g, 0, rule);
-  const EProcessView view(walk.graph(), walk.cover(), walk.steps());
-  EXPECT_FALSE(view.has_blue_partition());
-  EXPECT_THROW(view.blue_count(0), std::logic_error);
-  EXPECT_THROW(view.blue_slot(0, 0), std::logic_error);
-}
-
-TEST(RuleContract, OverridingNeitherEntryPointThrows) {
-  class EmptyRule final : public UnvisitedEdgeRule {
-   public:
-    const char* name() const override { return "empty"; }
-  };
-  const Graph g = cycle_graph(4);
-  EmptyRule rule;
-  EProcess walk(g, 0, rule);
-  Rng rng(3);
-  EXPECT_THROW(walk.step(rng), std::logic_error);
-}
+// (The pre-removal RuleContract tests — partition-less views throwing and
+// the adapter's override-neither error — went away with the deprecated API:
+// choose_index() is now pure virtual and every view carries a partition, so
+// both misuses are compile errors instead of runtime throws.)
 
 }  // namespace
 }  // namespace ewalk

@@ -1,0 +1,214 @@
+// Tests for the sweep subsystem (src/sweep/): the SweepDriver's scheduling
+// invariants — samples must be a pure function of (master_seed, point,
+// trial), never of thread count or scheduling — plus the graph-reuse
+// semantics, budget clamping, stream derivation, and the SWEEP_*.json /
+// CSV emission CI validates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/adapters.hpp"
+#include "graph/generators.hpp"
+#include "sweep/report.hpp"
+#include "sweep/sweep.hpp"
+#include "walks/rules.hpp"
+#include "walks/srw.hpp"
+
+namespace ewalk {
+namespace {
+
+ProcessFactory eprocess_factory() {
+  return [](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
+    return std::make_unique<EProcessHandle>(g, 0,
+                                            std::make_unique<UniformRule>());
+  };
+}
+
+ProcessFactory srw_factory() {
+  return [](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
+    return std::make_unique<SimpleRandomWalk>(g, 0);
+  };
+}
+
+// A small two-point, two-series sweep over random regular graphs —
+// randomised generation AND randomised walks, so any schedule-dependence
+// in the stream derivation would show up as diverging samples.
+std::vector<SweepPoint> small_points() {
+  std::vector<SweepPoint> points;
+  for (const Vertex n : {60, 120}) {
+    SweepPoint point;
+    point.label = "n" + std::to_string(n);
+    point.params = {{"n", static_cast<double>(n)}};
+    point.graph = [n](Rng& rng) { return random_regular_pairing_connected(n, 4, rng); };
+    point.series = {SweepSeriesSpec{"srw", srw_factory(), CoverTarget::kVertices},
+                    SweepSeriesSpec{"eprocess", eprocess_factory(),
+                                    CoverTarget::kVertices}};
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<std::vector<double>> all_samples(const SweepResult& r) {
+  std::vector<std::vector<double>> out;
+  for (const auto& point : r.points)
+    for (const auto& series : point.series) out.push_back(series.samples);
+  return out;
+}
+
+TEST(SweepStream, PureFunctionOfIndices) {
+  // Same coordinates -> identical stream; any coordinate change -> different.
+  EXPECT_EQ(sweep_stream(1, 2, 3, 4)(), sweep_stream(1, 2, 3, 4)());
+  EXPECT_NE(sweep_stream(1, 2, 3, 4)(), sweep_stream(2, 2, 3, 4)());
+  EXPECT_NE(sweep_stream(1, 2, 3, 4)(), sweep_stream(1, 3, 3, 4)());
+  EXPECT_NE(sweep_stream(1, 2, 3, 4)(), sweep_stream(1, 2, 4, 4)());
+  EXPECT_NE(sweep_stream(1, 2, 3, 4)(), sweep_stream(1, 2, 3, 5)());
+  // The roles a unit actually uses must be pairwise distinct streams.
+  EXPECT_NE(sweep_stream(7, 0, 0, 0)(), sweep_stream(7, 0, 0, 1)());
+  EXPECT_NE(sweep_stream(7, 0, 0, 1)(), sweep_stream(7, 0, 0, 2)());
+}
+
+TEST(SweepDriver, SamplesInvariantAcrossThreadCounts) {
+  SweepConfig config;
+  config.trials = 4;
+  config.master_seed = 99;
+
+  config.threads = 1;
+  const auto serial = all_samples(run_sweep("t", small_points(), config));
+  config.threads = 4;
+  const auto four = all_samples(run_sweep("t", small_points(), config));
+  config.threads = 0;  // hardware concurrency
+  const auto hardware = all_samples(run_sweep("t", small_points(), config));
+
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, hardware);
+  ASSERT_EQ(serial.size(), 4u);  // 2 points x 2 series
+  for (const auto& samples : serial) ASSERT_EQ(samples.size(), 4u);
+}
+
+TEST(SweepDriver, ReuseSharesOneInstanceAcrossSeries) {
+  // With reuse both series see the same graph: on a cycle the E-process
+  // covers n vertices in exactly n-1 steps regardless, so compare through
+  // the SRW whose cover time is graph-shape sensitive — identical samples
+  // between a one-series and a two-series sweep prove the srw series'
+  // stream does not depend on how many series share the point.
+  SweepPoint both;
+  both.label = "cycle";
+  both.params = {{"n", 80.0}};
+  both.graph = [](Rng&) { return cycle_graph(80); };
+  both.series = {SweepSeriesSpec{"srw", srw_factory(), CoverTarget::kVertices},
+                 SweepSeriesSpec{"eprocess", eprocess_factory(),
+                                 CoverTarget::kVertices}};
+  SweepPoint solo = both;
+  solo.series = {both.series[0]};
+
+  SweepConfig config;
+  config.trials = 3;
+  config.threads = 1;
+  config.master_seed = 5;
+  const auto with_both = run_sweep("t", {both}, config);
+  const auto with_solo = run_sweep("t", {solo}, config);
+  EXPECT_EQ(with_both.points[0].series[0].samples,
+            with_solo.points[0].series[0].samples);
+  // E-process on a cycle: vertex cover after exactly n-1 blue steps.
+  for (const double v : with_both.points[0].series[1].samples)
+    EXPECT_EQ(v, 79.0);
+}
+
+TEST(SweepDriver, IndependentGraphsModeIsAlsoThreadInvariant) {
+  SweepConfig config;
+  config.trials = 3;
+  config.master_seed = 17;
+  config.reuse_graph = false;
+  config.threads = 1;
+  const auto serial = all_samples(run_sweep("t", small_points(), config));
+  config.threads = 4;
+  const auto parallel = all_samples(run_sweep("t", small_points(), config));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepDriver, BudgetClampsAndCountsUncoveredTrials) {
+  // Two disjoint triangles: no walk from vertex 0 can ever cover them.
+  SweepPoint point;
+  point.label = "disconnected";
+  point.params = {{"n", 6.0}};
+  point.graph = [](Rng&) {
+    GraphBuilder b(6);
+    for (Vertex v = 0; v < 3; ++v) b.add_edge(v, (v + 1) % 3);
+    for (Vertex v = 0; v < 3; ++v) b.add_edge(3 + v, 3 + (v + 1) % 3);
+    return b.build();
+  };
+  point.series = {SweepSeriesSpec{"srw", srw_factory(), CoverTarget::kVertices}};
+  point.max_steps = 500;
+
+  SweepConfig config;
+  config.trials = 3;
+  config.threads = 1;
+  const auto result = run_sweep("t", {point}, config);
+  const SweepSeriesResult& sr = result.points[0].series[0];
+  EXPECT_EQ(sr.uncovered_trials, 3u);
+  for (const double v : sr.samples) EXPECT_EQ(v, 500.0);
+}
+
+TEST(SweepDriver, EdgeTargetUsesEdgeCoverStep) {
+  SweepPoint point;
+  point.label = "cycle";
+  point.params = {{"n", 50.0}};
+  point.graph = [](Rng&) { return cycle_graph(50); };
+  point.series = {SweepSeriesSpec{"eprocess", eprocess_factory(),
+                                  CoverTarget::kEdges}};
+  SweepConfig config;
+  config.trials = 2;
+  config.threads = 1;
+  const auto result = run_sweep("t", {point}, config);
+  // E-process edge-covers a cycle in exactly n steps.
+  for (const double v : result.points[0].series[0].samples) EXPECT_EQ(v, 50.0);
+}
+
+TEST(SweepReport, WritesSchemaConformantJsonAndCsv) {
+  SweepConfig config;
+  config.trials = 2;
+  config.threads = 1;
+  config.master_seed = 3;
+  SweepResult result = run_sweep("unit_test", small_points(), config);
+
+  const std::string dir = "sweep_test_out";
+  const std::string json_path = write_sweep_json(result, dir);
+  const std::string csv_path = write_sweep_csv(result, dir);
+  EXPECT_EQ(json_path, dir + "/SWEEP_unit_test.json");
+
+  std::ifstream json(json_path);
+  ASSERT_TRUE(json.good());
+  std::stringstream buf;
+  buf << json.rdbuf();
+  const std::string body = buf.str();
+  for (const char* needle :
+       {"\"sweep\": \"unit_test\"", "\"version\": 1", "\"trials\": 2",
+        "\"points\": [", "\"params\": {\"n\": 60}", "\"name\": \"srw\"",
+        "\"name\": \"eprocess\"", "\"samples\": [", "\"gen_seconds\":",
+        "\"walk_seconds\":", "\"uncovered_trials\": 0"}) {
+    EXPECT_NE(body.find(needle), std::string::npos) << "missing: " << needle;
+  }
+
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header,
+            "label,n,series,mean,ci95,median,min,max,uncovered_trials,"
+            "walk_seconds,gen_seconds");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(csv, line);)
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, 4u);  // 2 points x 2 series
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ewalk

@@ -7,8 +7,19 @@
 //         [--trials N] [--threads T] [--seed S]
 //         [--target vertices|edges|coalescence]
 //         [--start V] [--max-steps B] [--csv out.csv] [--profile]
+//         [--sweep n1,n2,...]
 //
-// (--walk is accepted as a synonym for --process.)
+// (--walk is accepted as a synonym for --process, --generator for --graph.)
+//
+// --sweep n1,n2,... switches to sweep mode: the --n parameter of the chosen
+// family is swept over the listed sizes through the sweep driver
+// (src/sweep/), one point per size with --trials trials each, scheduled on
+// the thread pool with graph construction inside the tasks. Results print
+// as a table and land in bench_out/SWEEP_cli.{json,csv} — the same
+// machine-readable format the sweep benches emit — so a quick
+// figure-style sweep needs no bench binary:
+//   ewalk --generator regular-pairing --r 4 --process eprocess --sweep \
+//         25000,50000,100000 --trials 5 --threads 0
 //
 // Trials run through the experiment harness's run_trials on the persistent
 // thread pool: trial t's RNG stream is a pure function of (--seed, t), so
@@ -43,6 +54,8 @@
 #include "engine/registry.hpp"
 #include "engine/token_process.hpp"
 #include "graph/algorithms.hpp"
+#include "sweep/report.hpp"
+#include "sweep/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -59,7 +72,10 @@ void print_help() {
       "             [--trials N] [--threads T] [--seed S]\n"
       "             [--target vertices|edges|coalescence]\n"
       "             [--max-steps B] [--csv out.csv] [--profile]\n"
-      "       (--walk is a synonym for --process; --threads 0 = all cores)\n\n");
+      "             [--sweep n1,n2,...]\n"
+      "       (--walk is a synonym for --process, --generator for --graph;\n"
+      "        --threads 0 = all cores; --sweep sweeps --n over the listed\n"
+      "        sizes via the sweep driver and writes bench_out/SWEEP_cli.json)\n\n");
   std::printf("graph families (--graph):\n");
   for (const auto& e : GeneratorRegistry::instance().entries())
     std::printf("  %-12s %-22s %s\n", e.name.c_str(), e.params_help.c_str(),
@@ -78,6 +94,70 @@ void print_help() {
       "(see src/engine/budget.hpp).\n");
 }
 
+// Sweep mode: --sweep n1,n2,... sweeps the family's --n parameter through
+// the sweep driver — one point per size, the chosen process as its only
+// series — and emits the standard SWEEP_*.json/csv pair under bench_out/.
+int run_cli_sweep(const Cli& cli, const std::string& family,
+                  const std::string& process, std::uint32_t trials) {
+  const std::string spec = cli.get("sweep", "");
+  if (spec.empty())
+    throw std::invalid_argument("--sweep needs a comma-separated size list");
+  const std::vector<std::uint64_t> ns = parse_u64_list(spec);
+
+  // Sweeping overrides the family's --n; a family not parameterised by n
+  // (torus, lps, hypercube, ...) would silently build the identical graph
+  // at every point and normalise by a fictitious n.
+  bool family_known = false, family_has_n = false;
+  for (const auto& e : GeneratorRegistry::instance().entries())
+    if (e.name == family) {
+      family_known = true;
+      family_has_n = e.params_help.find("--n") != std::string::npos;
+    }
+  if (family_known && !family_has_n)
+    throw std::invalid_argument(
+        "--sweep sweeps the --n parameter, but family '" + family +
+        "' is not parameterised by --n (use e.g. regular, regular-pairing, "
+        "cycle, complete, hamunion, erdosrenyi, geometric)");
+
+  const std::string target = cli.get("target", "vertices");
+  if (target != "vertices" && target != "edges")
+    throw std::invalid_argument("--sweep supports --target vertices|edges");
+
+  std::vector<SweepPoint> points;
+  for (const std::uint64_t n : ns) {
+    ParamMap point_params = cli.params();
+    point_params.set("n", std::to_string(n));
+    SweepPoint point;
+    point.label = "n" + std::to_string(n);
+    point.params = {{"n", static_cast<double>(n)}};
+    point.graph = [family, point_params](Rng& rng) {
+      return GeneratorRegistry::instance().create(family, point_params, rng);
+    };
+    point.series = {SweepSeriesSpec{
+        process,
+        [process, point_params](const Graph& g, Rng& rng) {
+          return ProcessRegistry::instance().create(process, g, point_params, rng);
+        },
+        target == "edges" ? CoverTarget::kEdges : CoverTarget::kVertices}};
+    point.max_steps = cli.get_u64("max-steps", 0);
+    points.push_back(std::move(point));
+  }
+
+  SweepConfig config;
+  config.trials = trials;
+  config.threads = static_cast<std::uint32_t>(cli.get_int("threads", 1));
+  config.master_seed = cli.get_u64("seed", 1);
+  const SweepResult result = run_sweep("cli", points, config);
+
+  std::printf("sweep: %s on %s, target %s, %u trials/point\n", process.c_str(),
+              family.c_str(), target.c_str(), trials);
+  print_sweep_table(result);
+  const std::string json = write_sweep_json(result);
+  const std::string csv = write_sweep_csv(result);
+  std::printf("wrote %s and %s\n", json.c_str(), csv.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,10 +168,13 @@ int main(int argc, char** argv) {
   }
   try {
     const std::uint32_t trials = static_cast<std::uint32_t>(cli.get_int("trials", 5));
-    const std::string family = cli.get("graph", "regular");
+    const std::string family = cli.has("graph") ? cli.get("graph", "regular")
+                                                : cli.get("generator", "regular");
     const std::string process = cli.has("process") ? cli.get("process", "eprocess")
                                                    : cli.get("walk", "eprocess");
     const ParamMap& params = cli.params();
+
+    if (cli.has("sweep")) return run_cli_sweep(cli, family, process, trials);
 
     Rng graph_rng(cli.get_u64("seed", 1));
     const Graph g = GeneratorRegistry::instance().create(family, params, graph_rng);

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Schema validator for the machine-readable bench outputs in bench_out/.
+
+CI's perf gates are schema + coverage, never absolute speed: shared runners
+are too noisy for wall-clock assertions, but an empty or malformed JSON
+means the perf trajectory silently broke. Two formats are understood,
+dispatched on the top-level tag:
+
+  * BENCH_throughput.json  ({"bench": "throughput", "version": 1, ...})
+    written by bench/throughput.cpp;
+  * SWEEP_<name>.json      ({"sweep": <name>, "version": 1, ...})
+    written by src/sweep/report.cpp for every sweep bench.
+
+Usage: validate_bench_json.py FILE [FILE...]
+Exits non-zero (with a per-file message) on the first violation.
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    raise SystemExit(f"{path}: {message}")
+
+
+def validate_throughput(path, d):
+    if d.get("version") != 1:
+        fail(path, f"unexpected version {d.get('version')}")
+    results = d.get("results", [])
+    if len(results) < 12:
+        fail(path, f"only {len(results)} (process, family) pairs, need >= 12")
+    for r in results:
+        for key in ("process", "graph", "n", "m", "steps", "seconds",
+                    "steps_per_sec"):
+            if key not in r:
+                fail(path, f"result missing {key}: {r}")
+        if not (r["steps"] > 0 and r["steps_per_sec"] > 0):
+            fail(path, f"non-positive steps or rate: {r}")
+    print(f"{path}: OK ({len(results)} (process, family) pairs)")
+
+
+def validate_sweep(path, d):
+    if d.get("version") != 1:
+        fail(path, f"unexpected version {d.get('version')}")
+    for key in ("sweep", "seed", "trials", "threads", "reuse_graph",
+                "gen_seconds", "walk_seconds", "wall_seconds", "points"):
+        if key not in d:
+            fail(path, f"missing top-level {key}")
+    trials = d["trials"]
+    if not (isinstance(trials, int) and trials > 0):
+        fail(path, f"bad trials: {trials!r}")
+    points = d["points"]
+    if not points:
+        fail(path, "empty points array")
+    param_names = None
+    for point in points:
+        for key in ("label", "params", "series", "gen_seconds"):
+            if key not in point:
+                fail(path, f"point missing {key}: {point.get('label')}")
+        names = sorted(point["params"])
+        if param_names is None:
+            param_names = names
+        elif names != param_names:
+            fail(path, f"inconsistent param names at {point['label']}: "
+                       f"{names} vs {param_names}")
+        if not point["series"]:
+            fail(path, f"point {point['label']} has no series")
+        for series in point["series"]:
+            for key in ("name", "mean", "ci95", "median", "min", "max",
+                        "uncovered_trials", "walk_seconds", "samples"):
+                if key not in series:
+                    fail(path, f"series missing {key} at {point['label']}")
+            if len(series["samples"]) != trials:
+                fail(path, f"{point['label']}/{series['name']}: "
+                           f"{len(series['samples'])} samples, want {trials}")
+            if not (series["min"] <= series["median"] <= series["max"]):
+                fail(path, f"{point['label']}/{series['name']}: "
+                           "min/median/max out of order")
+            if series["uncovered_trials"] > trials:
+                fail(path, f"{point['label']}/{series['name']}: "
+                           "uncovered_trials exceeds trials")
+    n_series = sum(len(p["series"]) for p in points)
+    print(f"{path}: OK ({len(points)} points, {n_series} series, "
+          f"{trials} trials/point)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__)
+    for path in argv[1:]:
+        with open(path) as f:
+            d = json.load(f)
+        if d.get("bench") == "throughput":
+            validate_throughput(path, d)
+        elif "sweep" in d:
+            validate_sweep(path, d)
+        else:
+            fail(path, "neither a throughput nor a sweep JSON")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
