@@ -14,20 +14,97 @@
 // (schema: src/sweep/report.hpp; CI validates the JSON).
 //
 // Flags: --trials N --seed S --threads T --full (n up to 5*10^5, the
-// paper's range) --generator pairing|sw (default pairing — the edge-swap
-// generator that keeps large-n trial setup off the critical path; sw is the
-// paper's Steger–Wormald reference) --degrees 3,4,5,6,7 --ns n1,n2,...
-// — default sizes are laptop-CI friendly.
+// paper's range) --generator pairing|sw|pairing-bfs (default pairing — the
+// edge-swap generator that keeps large-n trial setup off the critical path;
+// sw is the paper's Steger–Wormald reference; pairing-bfs replays the
+// legacy build-then-BFS retry loop for A/B comparison) --degrees 3,4,5,6,7
+// --ns n1,n2,... — default sizes are laptop-CI friendly.
+//
+// --max-trials M (with --ci-width W, default 0.05) switches the sweep to
+// adaptive trial counts: each (d, n) series runs --trials to M trials until
+// its 95% CI half-width is within W of its mean.
+//
+// --gen-only skips the walks entirely and microbenches graph *generation*:
+// per (d, n) point it reports edges/sec over --trials builds, then a footer
+// with peak RSS, the generation retry counters, and the number of
+// is_connected BFS calls the builds made. With --assert-no-gen-bfs the
+// binary exits non-zero when that BFS count is not 0 — the nightly
+// large-n smoke uses this to pin the connectivity-aware generation
+// contract (docs/ARCHITECTURE.md) at paper scale.
 #include <cmath>
 #include <memory>
 
 #include "bench/common.hpp"
 #include "engine/adapters.hpp"
+#include "graph/algorithms.hpp"
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
+#include "util/mem.hpp"
 #include "walks/rules.hpp"
 
 using namespace ewalk;
+
+namespace {
+
+// Generation-only microbench: serial (clean per-build timing), streams
+// derived exactly like the sweep's shared-graph role so a --gen-only build
+// is bit-identical to the graph the full sweep would have walked.
+int run_gen_only(const bench::BenchConfig& cfg, const std::string& generator,
+                 const std::vector<std::uint64_t>& degrees,
+                 const std::vector<std::uint64_t>& ns, bool assert_no_bfs) {
+  std::printf("generation microbench: generator=%s, %u builds/point\n",
+              generator.c_str(), cfg.trials);
+  std::printf("%3s %9s %12s %10s %14s\n", "d", "n", "edges", "seconds",
+              "edges/sec");
+  const std::uint64_t bfs_before = connectivity_bfs_calls();
+  reset_generation_counters();
+  std::uint64_t point_index = 0;
+  for (const std::uint64_t d : degrees) {
+    for (const std::uint64_t n : ns) {
+      const auto factory = bench::regular_factory(
+          generator, static_cast<Vertex>(n), static_cast<std::uint32_t>(d));
+      double seconds = 0.0;
+      std::uint64_t edges = 0;
+      for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+        Rng rng = sweep_stream(cfg.seed, point_index, t, 0);
+        WallTimer timer;
+        const Graph g = factory(rng);
+        seconds += timer.seconds();
+        edges += g.num_edges();
+      }
+      std::printf("%3llu %9llu %12llu %10.3f %14.0f\n",
+                  static_cast<unsigned long long>(d),
+                  static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(edges), seconds,
+                  seconds > 0 ? static_cast<double>(edges) / seconds : 0.0);
+      ++point_index;
+    }
+  }
+  const std::uint64_t bfs_calls = connectivity_bfs_calls() - bfs_before;
+  const GenerationCounters gc = generation_counters();
+  std::printf(
+      "attempts: pairing %llu (%llu connectivity retries), "
+      "sw %llu (%llu connectivity retries)\n",
+      static_cast<unsigned long long>(gc.pairing_attempts),
+      static_cast<unsigned long long>(gc.pairing_connectivity_retries),
+      static_cast<unsigned long long>(gc.sw_attempts),
+      static_cast<unsigned long long>(gc.sw_connectivity_retries));
+  std::printf("is_connected BFS calls during generation: %llu\n",
+              static_cast<unsigned long long>(bfs_calls));
+  if (const std::uint64_t rss = peak_rss_bytes(); rss > 0)
+    std::printf("peak RSS: %.1f MiB\n",
+                static_cast<double>(rss) / (1024.0 * 1024.0));
+  if (assert_no_bfs && bfs_calls != 0) {
+    std::fprintf(stderr,
+                 "error: --assert-no-gen-bfs: %llu is_connected BFS calls on "
+                 "the generation path (want 0)\n",
+                 static_cast<unsigned long long>(bfs_calls));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
   const Cli cli(argc, argv);
@@ -43,6 +120,10 @@ int main(int argc, char** argv) try {
   std::vector<std::uint64_t> degrees{3, 4, 5, 6, 7};
   if (cli.has("ns")) ns = parse_u64_list(cli.get("ns", ""));
   if (cli.has("degrees")) degrees = parse_u64_list(cli.get("degrees", ""));
+
+  if (cli.get_bool("gen-only", false))
+    return run_gen_only(cfg, generator, degrees, ns,
+                        cli.get_bool("assert-no-gen-bfs", false));
 
   std::vector<SweepPoint> points;
   for (const std::uint64_t d : degrees) {
@@ -68,6 +149,8 @@ int main(int argc, char** argv) try {
   sc.trials = cfg.trials;
   sc.threads = cfg.threads;
   sc.master_seed = cfg.seed;
+  sc.max_trials = static_cast<std::uint32_t>(cli.get_u64("max-trials", 0));
+  sc.ci_rel_target = cli.get_double("ci-width", sc.ci_rel_target);
   const SweepResult result = run_sweep("fig1_eprocess_regular", points, sc);
 
   std::printf("generator: %s\n", generator.c_str());

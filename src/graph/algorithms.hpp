@@ -1,5 +1,10 @@
 // Basic graph algorithms shared by generators, analysis, and tests:
 // BFS distances, connectivity, components, diameter / eccentricity.
+//
+// Connectivity instrumentation: is_connected() bumps a process-wide counter
+// (connectivity_bfs_calls) that tests and the generation microbench use to
+// pin the generation path BFS-free — the union-find retry decision in
+// src/graph/generators.cpp must keep full-BFS checks off the hot path.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +21,25 @@ inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>
 /// Single-source BFS; result[v] == kUnreachable when v is not reachable.
 std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
 
+/// BFS into caller-owned scratch: `dist` is resized/reset and filled exactly
+/// as bfs_distances would, `frontier` is the BFS queue storage. Returns the
+/// number of reached vertices (including source). Callers that BFS in a loop
+/// (diameter, profile sweeps) reuse both buffers and skip n-sized
+/// allocations per source.
+std::uint32_t bfs_distances_into(const Graph& g, Vertex source,
+                                 std::vector<std::uint32_t>& dist,
+                                 std::vector<Vertex>& frontier);
+
+/// True iff every vertex is reachable from vertex 0. Counts reached vertices
+/// during the BFS instead of scanning the distance vector afterwards, and
+/// increments connectivity_bfs_calls() (generation-path regression counter).
 bool is_connected(const Graph& g);
+
+/// Total is_connected() calls made by this process (monotone, thread-safe).
+/// The generation counter-test and `--gen-only --assert-no-gen-bfs` bench
+/// mode snapshot it around generator calls to prove the union-find path
+/// never fell back to BFS.
+std::uint64_t connectivity_bfs_calls() noexcept;
 
 /// Component id per vertex (0-based, by discovery order) and component count.
 struct Components {

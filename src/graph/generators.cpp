@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -8,8 +9,10 @@
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "graph/algorithms.hpp"
+#include "graph/union_find.hpp"
 
 namespace ewalk {
 
@@ -21,34 +24,59 @@ std::uint64_t edge_key(Vertex u, Vertex v) noexcept {
   return (a << 32) | b;
 }
 
+// Generation-path counters (relaxed atomics: sweeps generate from pool
+// threads concurrently; exact interleaving is irrelevant, totals are not).
+std::atomic<std::uint64_t> g_pairing_attempts{0};
+std::atomic<std::uint64_t> g_pairing_connectivity_retries{0};
+std::atomic<std::uint64_t> g_sw_attempts{0};
+std::atomic<std::uint64_t> g_sw_connectivity_retries{0};
+
 }  // namespace
+
+GenerationCounters generation_counters() noexcept {
+  GenerationCounters c;
+  c.pairing_attempts = g_pairing_attempts.load(std::memory_order_relaxed);
+  c.pairing_connectivity_retries =
+      g_pairing_connectivity_retries.load(std::memory_order_relaxed);
+  c.sw_attempts = g_sw_attempts.load(std::memory_order_relaxed);
+  c.sw_connectivity_retries =
+      g_sw_connectivity_retries.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_generation_counters() noexcept {
+  g_pairing_attempts.store(0, std::memory_order_relaxed);
+  g_pairing_connectivity_retries.store(0, std::memory_order_relaxed);
+  g_sw_attempts.store(0, std::memory_order_relaxed);
+  g_sw_connectivity_retries.store(0, std::memory_order_relaxed);
+}
 
 Graph cycle_graph(Vertex n) {
   if (n < 3) throw std::invalid_argument("cycle_graph: n must be >= 3");
   GraphBuilder b(n);
   for (Vertex i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph path_graph(Vertex n) {
   if (n == 0) throw std::invalid_argument("path_graph: n must be >= 1");
   GraphBuilder b(n);
   for (Vertex i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph complete_graph(Vertex n) {
   GraphBuilder b(n);
   for (Vertex i = 0; i < n; ++i)
     for (Vertex j = i + 1; j < n; ++j) b.add_edge(i, j);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph complete_bipartite(Vertex a, Vertex b_count) {
   GraphBuilder b(a + b_count);
   for (Vertex i = 0; i < a; ++i)
     for (Vertex j = 0; j < b_count; ++j) b.add_edge(i, a + j);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph petersen_graph() {
@@ -59,7 +87,7 @@ Graph petersen_graph() {
     b.add_edge(5 + i, 5 + (i + 2) % 5);
     b.add_edge(i, 5 + i);
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph hypercube(std::uint32_t r) {
@@ -71,7 +99,7 @@ Graph hypercube(std::uint32_t r) {
       const Vertex w = v ^ (Vertex{1} << bit);
       if (v < w) b.add_edge(v, w);
     }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph torus_2d(Vertex w, Vertex h) {
@@ -83,7 +111,7 @@ Graph torus_2d(Vertex w, Vertex h) {
       b.add_edge(id(x, y), id((x + 1) % w, y));
       b.add_edge(id(x, y), id(x, (y + 1) % h));
     }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph grid_2d(Vertex w, Vertex h) {
@@ -95,14 +123,14 @@ Graph grid_2d(Vertex w, Vertex h) {
       if (x + 1 < w) b.add_edge(id(x, y), id(x + 1, y));
       if (y + 1 < h) b.add_edge(id(x, y), id(x, y + 1));
     }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph star_graph(Vertex n) {
   if (n < 2) throw std::invalid_argument("star_graph: n must be >= 2");
   GraphBuilder b(n);
   for (Vertex i = 1; i < n; ++i) b.add_edge(0, i);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph lollipop(Vertex clique_size, Vertex path_len) {
@@ -115,7 +143,7 @@ Graph lollipop(Vertex clique_size, Vertex path_len) {
     b.add_edge(prev, clique_size + k);
     prev = clique_size + k;
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph barbell(Vertex clique_size, Vertex path_len) {
@@ -133,7 +161,7 @@ Graph barbell(Vertex clique_size, Vertex path_len) {
     prev = clique_size + k;
   }
   b.add_edge(prev, clique_size + path_len);  // attach to second clique's vertex 0
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph circulant(Vertex n, const std::vector<std::uint32_t>& offsets) {
@@ -143,7 +171,7 @@ Graph circulant(Vertex n, const std::vector<std::uint32_t>& offsets) {
     if (2 * o == n) throw std::invalid_argument("circulant: offset n/2 gives odd degree");
     for (Vertex i = 0; i < n; ++i) b.add_edge(i, (i + o) % n);
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph binary_tree(std::uint32_t levels) {
@@ -151,7 +179,7 @@ Graph binary_tree(std::uint32_t levels) {
   const Vertex n = (Vertex{1} << levels) - 1;
   GraphBuilder b(n);
   for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / 2);
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph margulis_expander(Vertex k) {
@@ -169,7 +197,7 @@ Graph margulis_expander(Vertex k) {
       b.add_edge(v, id(x, (y + x + 1) % k));        // S7
     }
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 // ---- Steger–Wormald random regular graphs --------------------------------
@@ -179,8 +207,17 @@ namespace {
 // One attempt of the Steger–Wormald stub-matching pass (the NetworkX
 // `_try_creation` logic). Returns edges on success, nullopt when the attempt
 // wedged (some stubs can no longer be placed) and must be restarted.
+//
+// When `uf` is non-null it is reset to n singletons and every accepted edge
+// is unioned as it lands. Edges are only ever added within an attempt, so
+// on success uf->components() == 1 is *exactly* the connectivity of the
+// finished graph — the connected variant reads the retry decision off the
+// union-find the moment the last edge lands, no BFS, no CSR build.
 std::optional<std::vector<Endpoints>> steger_wormald_attempt(Vertex n, std::uint32_t r,
-                                                             Rng& rng) {
+                                                             Rng& rng,
+                                                             UnionFind* uf = nullptr) {
+  g_sw_attempts.fetch_add(1, std::memory_order_relaxed);
+  if (uf != nullptr) uf->reset(n);
   std::vector<Endpoints> edges;
   edges.reserve(static_cast<std::size_t>(n) * r / 2);
   std::unordered_set<std::uint64_t> seen;
@@ -205,6 +242,7 @@ std::optional<std::vector<Endpoints>> steger_wormald_attempt(Vertex n, std::uint
       } else {
         seen.insert(edge_key(s1, s2));
         edges.push_back(Endpoints{s1, s2});
+        if (uf != nullptr) uf->unite(s1, s2);
       }
     }
     if (!any_leftover) break;
@@ -232,17 +270,31 @@ Graph random_regular(Vertex n, std::uint32_t r, Rng& rng) {
   if (r >= n) throw std::invalid_argument("random_regular: need r < n");
   if ((static_cast<std::uint64_t>(n) * r) % 2 != 0)
     throw std::invalid_argument("random_regular: n*r must be even");
-  if (r == 0) return Graph::from_edges(n, {});
+  if (r == 0) return Graph::from_edges(n, std::vector<Endpoints>{});
   for (;;) {
     auto edges = steger_wormald_attempt(n, r, rng);
-    if (edges) return Graph::from_edges(n, *edges);
+    if (edges) return Graph::from_edges(n, std::move(*edges));
   }
 }
 
 Graph random_regular_connected(Vertex n, std::uint32_t r, Rng& rng) {
+  if (r >= n) throw std::invalid_argument("random_regular_connected: need r < n");
+  if ((static_cast<std::uint64_t>(n) * r) % 2 != 0)
+    throw std::invalid_argument("random_regular_connected: n*r must be even");
+  if (r == 0) {
+    if (n > 1)
+      throw std::invalid_argument("random_regular_connected: r = 0, n > 1 cannot be connected");
+    return Graph::from_edges(n, std::vector<Endpoints>{});
+  }
+  UnionFind uf(n);
   for (;;) {
-    Graph g = random_regular(n, r, rng);
-    if (is_connected(g)) return g;
+    auto edges = steger_wormald_attempt(n, r, rng, &uf);
+    if (!edges) continue;
+    if (uf.components() != 1) {
+      g_sw_connectivity_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;  // rejected before any CSR build
+    }
+    return Graph::from_edges(n, std::move(*edges));
   }
 }
 
@@ -253,27 +305,43 @@ namespace {
 // Flat open-addressed multiplicity table over edge keys: the pairing
 // generator's hot structure. A node-based unordered_map makes generation
 // hash-allocation-bound (measured ~2x slower end to end); linear probing
-// over two preallocated arrays at load factor <= 0.5 keeps the whole first
+// over two preallocated arrays at load factor <= 2/3 keeps the whole first
 // pass cache-friendly. Slots are never reclaimed — a decremented-to-zero
 // key stays as a placeholder so probe chains remain valid — which is fine
 // here: the repair inserts only O(defects) keys beyond the initial m.
 // At most one instance may be live per thread (the backing storage is
 // thread_local); pairing_repair_attempt's single function-local table
-// satisfies this by construction.
+// satisfies this by construction. Capacity and probe order only affect
+// speed, never the multiplicities the table reports, so resizing policy is
+// free to change without perturbing generated graphs.
 class EdgeCountTable {
  public:
-  /// Table sized for `expected` distinct keys (capacity >= 2x, power of two).
-  /// Construction reuses the calling thread's storage from previous tables
-  /// (a sweep builds hundreds of same-sized graphs per thread; re-faulting
-  /// tens of MB of freshly mmapped pages per trial dominated construction),
-  /// so only the sentinel refill is paid, not the page faults.
+  /// Table sized for `expected` distinct keys (capacity >= 1.5x, power of
+  /// two). Construction reuses the calling thread's storage from previous
+  /// tables (a sweep builds hundreds of same-sized graphs per thread;
+  /// re-faulting tens of MB of freshly mmapped pages per trial dominated
+  /// construction), so only the sentinel refill is paid, not the page
+  /// faults.
   explicit EdgeCountTable(std::size_t expected)
       : keys_(thread_keys()), counts_(thread_counts()) {
     std::size_t cap = 16;
-    while (cap < 2 * expected + 2) cap <<= 1;
+    while (2 * cap < 3 * expected + 2) cap <<= 1;
     mask_ = cap - 1;
     keys_.assign(cap, kEmpty);
     counts_.assign(cap, 0);
+  }
+
+  /// Paper-scale tables (beyond ~4M slots, i.e. n in the millions) would pin
+  /// hundreds of MB of thread_local storage across the CSR build that
+  /// follows — the dominant term of the generation peak-RSS envelope — so
+  /// they release the backing storage instead of retaining it; sweep-typical
+  /// sizes keep the reuse optimisation.
+  ~EdgeCountTable() {
+    constexpr std::size_t kRetainCap = std::size_t{1} << 22;
+    if (mask_ + 1 > kRetainCap) {
+      std::vector<std::uint64_t>().swap(keys_);
+      std::vector<std::uint32_t>().swap(counts_);
+    }
   }
 
   /// Current multiplicity of `key` (0 when absent).
@@ -327,19 +395,25 @@ class EdgeCountTable {
 std::optional<std::vector<Endpoints>> pairing_repair_attempt(Vertex n,
                                                              std::uint32_t r,
                                                              Rng& rng) {
+  g_pairing_attempts.fetch_add(1, std::memory_order_relaxed);
   const std::size_t m = static_cast<std::size_t>(n) * r / 2;
-  std::vector<Vertex> stubs;
-  stubs.reserve(2 * m);
-  for (Vertex v = 0; v < n; ++v)
-    for (std::uint32_t i = 0; i < r; ++i) stubs.push_back(v);
-  rng.shuffle(std::span<Vertex>(stubs));
-
   std::vector<Endpoints> edges(m);
-  EdgeCountTable count(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    edges[i] = Endpoints{stubs[2 * i], stubs[2 * i + 1]};
-    count.increment(edge_key(edges[i].u, edges[i].v));
+  {
+    // Stub phase in its own scope: the 2m-stub array is dead weight once
+    // the edge list exists, and freeing it before the count table is built
+    // keeps the two biggest generation-scratch blocks from coexisting
+    // (peak-RSS envelope, see docs/REPRODUCING.md).
+    std::vector<Vertex> stubs;
+    stubs.reserve(2 * m);
+    for (Vertex v = 0; v < n; ++v)
+      for (std::uint32_t i = 0; i < r; ++i) stubs.push_back(v);
+    rng.shuffle(std::span<Vertex>(stubs));
+    for (std::size_t i = 0; i < m; ++i)
+      edges[i] = Endpoints{stubs[2 * i], stubs[2 * i + 1]};
   }
+  EdgeCountTable count(m);
+  for (std::size_t i = 0; i < m; ++i)
+    count.increment(edge_key(edges[i].u, edges[i].v));
 
   const auto defective = [&](const Endpoints& e) {
     return e.u == e.v || count.count(edge_key(e.u, e.v)) > 1;
@@ -392,17 +466,35 @@ Graph random_regular_pairing(Vertex n, std::uint32_t r, Rng& rng) {
   if (r >= n) throw std::invalid_argument("random_regular_pairing: need r < n");
   if ((static_cast<std::uint64_t>(n) * r) % 2 != 0)
     throw std::invalid_argument("random_regular_pairing: n*r must be even");
-  if (r == 0) return Graph::from_edges(n, {});
+  if (r == 0) return Graph::from_edges(n, std::vector<Endpoints>{});
   for (;;) {
     auto edges = pairing_repair_attempt(n, r, rng);
-    if (edges) return Graph::from_edges(n, *edges);
+    if (edges) return Graph::from_edges(n, std::move(*edges));
   }
 }
 
 Graph random_regular_pairing_connected(Vertex n, std::uint32_t r, Rng& rng) {
+  if (r >= n) throw std::invalid_argument("random_regular_pairing_connected: need r < n");
+  if ((static_cast<std::uint64_t>(n) * r) % 2 != 0)
+    throw std::invalid_argument("random_regular_pairing_connected: n*r must be even");
+  if (r == 0) {
+    if (n > 1)
+      throw std::invalid_argument(
+          "random_regular_pairing_connected: r = 0, n > 1 cannot be connected");
+    return Graph::from_edges(n, std::vector<Endpoints>{});
+  }
   for (;;) {
-    Graph g = random_regular_pairing(n, r, rng);
-    if (is_connected(g)) return g;
+    auto edges = pairing_repair_attempt(n, r, rng);
+    if (!edges) continue;
+    // The swap repair removes edges, so an incrementally-maintained
+    // union-find could over-report connectivity; one exact union-find pass
+    // over the final edge list decides the retry the moment repair
+    // finishes — still no BFS and no CSR build on the reject path.
+    if (!edge_list_connected(n, *edges)) {
+      g_pairing_connectivity_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    return Graph::from_edges(n, std::move(*edges));
   }
 }
 
@@ -439,7 +531,7 @@ Graph configuration_model(const std::vector<std::uint32_t>& degrees, Rng& rng,
       }
       edges.push_back(Endpoints{u, v});
     }
-    if (ok) return Graph::from_edges(n, edges);
+    if (ok) return Graph::from_edges(n, std::move(edges));
   }
 }
 
@@ -468,7 +560,7 @@ Graph hamiltonian_cycle_union(Vertex n, std::uint32_t k, Rng& rng, bool simple) 
         edges.push_back(Endpoints{u, v});
       }
     }
-    if (ok) return Graph::from_edges(n, edges);
+    if (ok) return Graph::from_edges(n, std::move(edges));
   }
 }
 
@@ -501,7 +593,7 @@ Graph erdos_renyi(Vertex n, double p, Rng& rng) {
     b.add_edge(u, v);
     ++idx;
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 Graph random_geometric(Vertex n, double radius, Rng& rng) {
@@ -544,7 +636,7 @@ Graph random_geometric(Vertex n, double radius, Rng& rng) {
         }
       }
   }
-  return b.build();
+  return std::move(b).build();
 }
 
 }  // namespace ewalk

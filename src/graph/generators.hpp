@@ -21,6 +21,29 @@
 
 namespace ewalk {
 
+// ---- Generation-path instrumentation ------------------------------------
+
+/// Process-wide counters for the random-regular generation hot path. The
+/// connected variants decide retries with a union-find over the edge list
+/// (see docs/ARCHITECTURE.md, "generation ↔ connectivity contract"), so a
+/// correct build shows zero full-BFS connectivity checks attributable to
+/// generation — tests/generators_test.cpp and the fig1 `--gen-only` bench
+/// mode pin that by snapshotting these together with
+/// connectivity_bfs_calls() (graph/algorithms.hpp).
+struct GenerationCounters {
+  std::uint64_t pairing_attempts = 0;      ///< pairing+repair passes started
+  std::uint64_t pairing_connectivity_retries = 0;  ///< attempts rejected as disconnected
+  std::uint64_t sw_attempts = 0;           ///< Steger–Wormald passes started
+  std::uint64_t sw_connectivity_retries = 0;  ///< SW graphs rejected as disconnected
+};
+
+/// Snapshot of the generation counters (thread-safe, monotone since the
+/// last reset_generation_counters()).
+GenerationCounters generation_counters() noexcept;
+
+/// Zeroes the generation counters (tests bracket generator calls with this).
+void reset_generation_counters() noexcept;
+
 // ---- Deterministic families -------------------------------------------
 
 /// Cycle C_n (n >= 3): connected, 2-regular, girth n.
@@ -82,7 +105,10 @@ Graph margulis_expander(Vertex k);
 Graph random_regular(Vertex n, std::uint32_t r, Rng& rng);
 
 /// Like random_regular but additionally retries until connected (for r >= 3
-/// the graph is connected whp, so this rarely loops).
+/// the graph is connected whp, so this rarely loops). Connectivity is
+/// maintained incrementally by a union-find *during* stub matching — the
+/// keep/retry decision is known the moment the last edge lands, with no BFS
+/// and no CSR build for rejected attempts.
 Graph random_regular_connected(Vertex n, std::uint32_t r, Rng& rng);
 
 /// Random r-regular simple graph via one pairing-model pass with edge-swap
@@ -100,7 +126,13 @@ Graph random_regular_connected(Vertex n, std::uint32_t r, Rng& rng);
 Graph random_regular_pairing(Vertex n, std::uint32_t r, Rng& rng);
 
 /// Like random_regular_pairing but additionally retries until connected
-/// (r >= 3: connected whp, so this rarely loops).
+/// (r >= 3: connected whp, so this rarely loops). The decision comes from a
+/// single union-find pass over the repaired edge list (edge_list_connected)
+/// the moment repair finishes — the swap repair can remove edges, so the
+/// incremental-union shortcut of the Steger–Wormald path would over-report
+/// connectivity here; the edge-list pass is exact, still O(m α(n)), and
+/// still runs before any CSR is built, so rejected attempts never pay a
+/// Graph construction or a BFS.
 Graph random_regular_pairing_connected(Vertex n, std::uint32_t r, Rng& rng);
 
 /// Configuration (pairing) model over a fixed degree sequence. When `simple`

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace ewalk {
@@ -33,7 +34,7 @@ Graph read_edge_list(std::istream& in) {
     if (!(in >> u >> v)) throw std::runtime_error("read_edge_list: truncated edge list");
     edges.push_back(Endpoints{u, v});
   }
-  return Graph::from_edges(n, edges);
+  return Graph::from_edges(n, std::move(edges));
 }
 
 Graph read_edge_list_file(const std::string& path) {

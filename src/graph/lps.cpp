@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ewalk {
@@ -211,7 +212,7 @@ Graph lps_graph(const LpsParams& params) {
     }
   }
 
-  return Graph::from_edges(static_cast<Vertex>(elems.size()), edges);
+  return Graph::from_edges(static_cast<Vertex>(elems.size()), std::move(edges));
 }
 
 }  // namespace ewalk

@@ -1,6 +1,7 @@
 #include "graph/transforms.hpp"
 
 #include <queue>
+#include <utility>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -29,7 +30,7 @@ ContractionResult contract_set(const Graph& g, std::span<const Vertex> set) {
     const auto [u, v] = g.endpoints(e);
     edges.push_back(Endpoints{out.vertex_map[u], out.vertex_map[v]});
   }
-  out.graph = Graph::from_edges(next, edges);
+  out.graph = Graph::from_edges(next, std::move(edges));
   return out;
 }
 
@@ -58,7 +59,7 @@ SubdivisionResult subdivide_edges(const Graph& g, std::span<const EdgeId> chosen
     edges.push_back(Endpoints{u, mid});
     edges.push_back(Endpoints{mid, v});
   }
-  out.graph = Graph::from_edges(next, edges);
+  out.graph = Graph::from_edges(next, std::move(edges));
   return out;
 }
 
@@ -72,7 +73,7 @@ Graph add_laziness_loops(const Graph& g) {
       throw std::invalid_argument("add_laziness_loops: all degrees must be even and positive");
     for (std::uint32_t i = 0; i < d / 2; ++i) edges.push_back(Endpoints{v, v});
   }
-  return Graph::from_edges(g.num_vertices(), edges);
+  return Graph::from_edges(g.num_vertices(), std::move(edges));
 }
 
 Graph double_edges(const Graph& g) {
@@ -82,7 +83,7 @@ Graph double_edges(const Graph& g) {
     edges.push_back(g.endpoints(e));
     edges.push_back(g.endpoints(e));
   }
-  return Graph::from_edges(g.num_vertices(), edges);
+  return Graph::from_edges(g.num_vertices(), std::move(edges));
 }
 
 Graph evenize_by_matching(const Graph& g) {
@@ -132,7 +133,7 @@ Graph evenize_by_matching(const Graph& g) {
     for (Vertex u = match; u != source; u = parent[u])
       edges.push_back(Endpoints{parent[u], u});
   }
-  return Graph::from_edges(g.num_vertices(), edges);
+  return Graph::from_edges(g.num_vertices(), std::move(edges));
 }
 
 }  // namespace ewalk

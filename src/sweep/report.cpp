@@ -37,13 +37,15 @@ std::string write_sweep_json(const SweepResult& result,
     throw std::runtime_error("write_sweep_json: cannot open " + path);
 
   std::fprintf(f,
-               "{\n  \"sweep\": \"%s\",\n  \"version\": 1,\n"
-               "  \"seed\": %llu,\n  \"trials\": %u,\n  \"threads\": %u,\n"
-               "  \"reuse_graph\": %s,\n",
+               "{\n  \"sweep\": \"%s\",\n  \"version\": 2,\n"
+               "  \"seed\": %llu,\n  \"trials\": %u,\n  \"max_trials\": %u,\n"
+               "  \"ci_rel_target\": ",
                json_escape(result.name).c_str(),
                static_cast<unsigned long long>(result.master_seed),
-               result.trials, result.threads,
-               result.reuse_graph ? "true" : "false");
+               result.trials, result.max_trials);
+  print_double(f, result.ci_rel_target);
+  std::fprintf(f, ",\n  \"threads\": %u,\n  \"reuse_graph\": %s,\n",
+               result.threads, result.reuse_graph ? "true" : "false");
   std::fprintf(f, "  \"gen_seconds\": ");
   print_double(f, result.gen_seconds);
   std::fprintf(f, ",\n  \"walk_seconds\": ");
@@ -77,8 +79,12 @@ std::string write_sweep_json(const SweepResult& result,
       print_double(f, sr.stats.min);
       std::fprintf(f, ", \"max\": ");
       print_double(f, sr.stats.max);
-      std::fprintf(f, ",\n        \"uncovered_trials\": %u, \"walk_seconds\": ",
-                   sr.uncovered_trials);
+      std::fprintf(f,
+                   ",\n        \"uncovered_trials\": %u, \"trials_used\": %u,"
+                   " \"ci_rel_width\": ",
+                   sr.uncovered_trials, sr.trials_used);
+      print_double(f, sr.ci_rel_width);
+      std::fprintf(f, ", \"walk_seconds\": ");
       print_double(f, sr.walk_seconds);
       std::fprintf(f, ", \"samples\": [");
       for (std::size_t t = 0; t < sr.samples.size(); ++t) {
@@ -102,8 +108,9 @@ std::string write_sweep_csv(const SweepResult& result,
   if (!result.points.empty())
     for (const SweepParam& param : result.points.front().params)
       header.push_back(param.name);
-  for (const char* col : {"series", "mean", "ci95", "median", "min", "max",
-                          "uncovered_trials", "walk_seconds", "gen_seconds"})
+  for (const char* col :
+       {"series", "mean", "ci95", "median", "min", "max", "uncovered_trials",
+        "trials_used", "ci_rel_width", "walk_seconds", "gen_seconds"})
     header.push_back(col);
 
   CsvWriter csv(path, std::move(header));
@@ -116,7 +123,9 @@ std::string write_sweep_csv(const SweepResult& result,
       for (const double v : {sr.stats.mean, sr.stats.ci95_halfwidth(),
                              sr.stats.median, sr.stats.min, sr.stats.max,
                              static_cast<double>(sr.uncovered_trials),
-                             sr.walk_seconds, point.gen_seconds})
+                             static_cast<double>(sr.trials_used),
+                             sr.ci_rel_width, sr.walk_seconds,
+                             point.gen_seconds})
         row.push_back(std::to_string(v));
       csv.row(row);
     }
@@ -137,22 +146,23 @@ void print_sweep_timing_split(const SweepResult& result) {
 }
 
 void print_sweep_table(const SweepResult& result) {
-  std::printf("%-18s %-16s %14s %12s %12s %6s\n", "point", "series", "mean",
-              "+/-95%", "mean/n", "unfin");
+  std::printf("%-18s %-16s %14s %12s %12s %6s %6s\n", "point", "series",
+              "mean", "+/-95%", "mean/n", "trials", "unfin");
   for (const SweepPointResult& point : result.points) {
     double n = 0.0;
     for (const SweepParam& param : point.params)
       if (param.name == "n") n = param.value;
     for (const SweepSeriesResult& sr : point.series) {
       if (n > 0)
-        std::printf("%-18s %-16s %14.0f %12.0f %12.3f %6u\n",
+        std::printf("%-18s %-16s %14.0f %12.0f %12.3f %6u %6u\n",
                     point.label.c_str(), sr.name.c_str(), sr.stats.mean,
                     sr.stats.ci95_halfwidth(), sr.stats.mean / n,
-                    sr.uncovered_trials);
+                    sr.trials_used, sr.uncovered_trials);
       else
-        std::printf("%-18s %-16s %14.0f %12.0f %12s %6u\n", point.label.c_str(),
-                    sr.name.c_str(), sr.stats.mean, sr.stats.ci95_halfwidth(),
-                    "-", sr.uncovered_trials);
+        std::printf("%-18s %-16s %14.0f %12.0f %12s %6u %6u\n",
+                    point.label.c_str(), sr.name.c_str(), sr.stats.mean,
+                    sr.stats.ci95_halfwidth(), "-", sr.trials_used,
+                    sr.uncovered_trials);
     }
   }
   print_sweep_timing_split(result);

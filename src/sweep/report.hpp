@@ -8,8 +8,11 @@
 // the raw trial samples — so a figure can be rebuilt (or two commits
 // diffed sample-for-sample) without re-running the sweep.
 //
-// SWEEP_*.json schema, version 1:
-//   { "sweep": str, "version": 1, "seed": u64, "trials": u32,
+// SWEEP_*.json schema, version 2 (v1 + adaptive-trials fields; validated by
+// tools/validate_bench_json.py, which still accepts v1 files from older
+// artifacts):
+//   { "sweep": str, "version": 2, "seed": u64, "trials": u32,
+//     "max_trials": u32, "ci_rel_target": f64,
 //     "threads": u32, "reuse_graph": bool,
 //     "gen_seconds": f64, "walk_seconds": f64, "wall_seconds": f64,
 //     "points": [
@@ -17,7 +20,11 @@
 //         "series": [
 //           { "name": str, "mean": f64, "ci95": f64, "median": f64,
 //             "min": f64, "max": f64, "uncovered_trials": u32,
+//             "trials_used": u32, "ci_rel_width": f64,
 //             "walk_seconds": f64, "samples": [f64, ...] }, ... ] }, ... ] }
+// `trials` is the floor; "max_trials" is 0 for fixed-trials sweeps, in which
+// case every "trials_used" equals "trials". "samples" always has exactly
+// "trials_used" entries.
 #pragma once
 
 #include <string>

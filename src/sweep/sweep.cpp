@@ -1,5 +1,7 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <thread>
 
@@ -16,15 +18,33 @@ namespace {
 struct SeriesCell {
   double value = 0.0;
   bool covered = false;
+  bool ran = false;  // false when the series was already closed at this trial
   double walk_seconds = 0.0;
 };
 
 // What one unit task records in total. Units write disjoint slots of a
-// preallocated vector, so the pool needs no locking around results.
+// preallocated structure, so the pool needs no locking around results.
 struct UnitRecord {
   double gen_seconds = 0.0;
   std::vector<SeriesCell> cells;
 };
+
+// One (point, trial) unit scheduled in the current round, with the subset of
+// series still open at schedule time. The mask is fixed at the round barrier,
+// so which series run trial t is a pure function of completed samples.
+struct UnitTask {
+  std::size_t point = 0;
+  std::uint32_t trial = 0;
+  std::vector<std::uint8_t> run;  // per-series: measure this trial?
+};
+
+// Relative CI width used by both the adaptive stopping rule and the reports:
+// 95% half-width over |mean|, defined as 0 when the mean is 0 (degenerate —
+// every sample 0 — where the CI is exactly tight anyway).
+double rel_ci_width(const SummaryStats& stats) {
+  return stats.mean != 0.0 ? stats.ci95_halfwidth() / std::abs(stats.mean)
+                           : 0.0;
+}
 
 }  // namespace
 
@@ -43,78 +63,137 @@ Rng sweep_stream(std::uint64_t master_seed, std::uint64_t point,
 SweepResult run_sweep(const std::string& name,
                       const std::vector<SweepPoint>& points,
                       const SweepConfig& config) {
-  const std::uint32_t trials = config.trials;
-  const std::size_t total =
-      points.size() * static_cast<std::size_t>(trials);
-  std::vector<UnitRecord> records(total);
+  const std::uint32_t floor_trials = std::max(1u, config.trials);
+  const bool adaptive = config.max_trials > 0;
+  const std::uint32_t cap =
+      adaptive ? std::max(config.max_trials, floor_trials) : floor_trials;
 
-  const auto unit = [&](std::uint32_t u) {
-    const std::size_t p = u / trials;
-    const std::uint32_t t = u % trials;
-    const SweepPoint& point = points[p];
-    UnitRecord& rec = records[u];
+  std::uint32_t workers =
+      config.threads == 0 ? std::thread::hardware_concurrency() : config.threads;
+  if (workers == 0) workers = 1;
+
+  // Per-point progress. records[p][t] is trial t of point p; open[p][s] says
+  // whether series s still accrues trials; done[p] counts scheduled trials.
+  std::vector<std::vector<UnitRecord>> records(points.size());
+  std::vector<std::vector<std::uint8_t>> open(points.size());
+  std::vector<std::uint32_t> done(points.size(), 0);
+  for (std::size_t p = 0; p < points.size(); ++p)
+    open[p].assign(points[p].series.size(), 1);
+
+  const auto run_unit = [&](const UnitTask& task) {
+    const SweepPoint& point = points[task.point];
+    UnitRecord& rec = records[task.point][task.trial];
     rec.cells.resize(point.series.size());
 
     std::optional<Graph> shared;
     if (config.reuse_graph) {
-      Rng graph_rng = sweep_stream(config.master_seed, p, t, 0);
+      Rng graph_rng = sweep_stream(config.master_seed, task.point, task.trial, 0);
       WallTimer gen_timer;
       shared.emplace(point.graph(graph_rng));
       rec.gen_seconds = gen_timer.seconds();
     }
     for (std::size_t s = 0; s < point.series.size(); ++s) {
+      if (!task.run[s]) continue;
       const SweepSeriesSpec& spec = point.series[s];
       Graph local;
       const Graph* g;
       if (config.reuse_graph) {
         g = &*shared;
       } else {
-        Rng graph_rng = sweep_stream(config.master_seed, p, t, 2 * s + 2);
+        Rng graph_rng =
+            sweep_stream(config.master_seed, task.point, task.trial, 2 * s + 2);
         WallTimer gen_timer;
         local = point.graph(graph_rng);
         rec.gen_seconds += gen_timer.seconds();
         g = &local;
       }
-      Rng walk_rng = sweep_stream(config.master_seed, p, t, 2 * s + 1);
+      Rng walk_rng =
+          sweep_stream(config.master_seed, task.point, task.trial, 2 * s + 1);
       auto walk = spec.process(*g, walk_rng);
       const std::uint64_t budget =
           point.max_steps != 0 ? point.max_steps : default_step_budget(*g);
       SeriesCell& cell = rec.cells[s];
       WallTimer walk_timer;
-      bool done;
+      bool done_walk;
       std::uint64_t result_step;
       if (spec.target == CoverTarget::kVertices) {
-        done = run_until(*walk, walk_rng, VertexCovered{}, budget);
+        done_walk = run_until(*walk, walk_rng, VertexCovered{}, budget);
         result_step = walk->cover().vertex_cover_step();
       } else {
-        done = run_until(*walk, walk_rng, EdgesCovered{}, budget);
+        done_walk = run_until(*walk, walk_rng, EdgesCovered{}, budget);
         result_step = walk->cover().edge_cover_step();
       }
       cell.walk_seconds = walk_timer.seconds();
-      cell.covered = done;
-      cell.value = static_cast<double>(done ? result_step : budget);
+      cell.covered = done_walk;
+      cell.ran = true;
+      cell.value = static_cast<double>(done_walk ? result_step : budget);
     }
   };
 
-  std::uint32_t workers =
-      config.threads == 0 ? std::thread::hardware_concurrency() : config.threads;
-  if (workers == 0) workers = 1;
-
   WallTimer sweep_timer;
-  if (total > 0) {
-    if (workers <= 1) {
-      for (std::size_t u = 0; u < total; ++u)
-        unit(static_cast<std::uint32_t>(u));
+  while (true) {
+    // Schedule the next round at a barrier: every open point contributes a
+    // deterministic batch of fresh trial indices with its current open-series
+    // mask. Points with no series run the floor once (graph-generation-only
+    // sweeps) and then stop.
+    std::vector<UnitTask> round;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const bool point_open =
+          points[p].series.empty()
+              ? done[p] == 0
+              : std::any_of(open[p].begin(), open[p].end(),
+                            [](std::uint8_t o) { return o != 0; });
+      if (!point_open || done[p] >= cap) continue;
+      // First round runs the floor; later rounds grow geometrically (half of
+      // what is already done, at least 1) so a slow-converging series needs
+      // only O(log(cap/floor)) barriers to reach the cap.
+      const std::uint32_t batch = std::min(
+          done[p] == 0 ? floor_trials : std::max(1u, done[p] / 2),
+          cap - done[p]);
+      records[p].resize(done[p] + batch);
+      for (std::uint32_t t = done[p]; t < done[p] + batch; ++t)
+        round.push_back(UnitTask{p, t, open[p]});
+      done[p] += batch;
+    }
+    if (round.empty()) break;
+
+    if (workers <= 1 || round.size() == 1) {
+      for (const UnitTask& task : round) run_unit(task);
     } else {
-      ThreadPool::instance().parallel_for(static_cast<std::uint32_t>(total),
-                                          workers, unit);
+      ThreadPool::instance().parallel_for(
+          static_cast<std::uint32_t>(round.size()), workers,
+          [&](std::uint32_t u) { run_unit(round[u]); });
+    }
+
+    // Closure pass (single-threaded, at the barrier): the stopping decision
+    // is a pure function of the completed samples, which are bit-identical
+    // across thread counts, so the adaptive schedule is too.
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (std::size_t s = 0; s < points[p].series.size(); ++s) {
+        if (!open[p][s]) continue;
+        if (done[p] >= cap) {
+          open[p][s] = 0;
+          continue;
+        }
+        if (!adaptive) continue;  // fixed mode closes via the cap above
+        std::vector<double> samples;
+        samples.reserve(done[p]);
+        for (std::uint32_t t = 0; t < done[p]; ++t)
+          if (records[p][t].cells[s].ran)
+            samples.push_back(records[p][t].cells[s].value);
+        if (samples.size() >= floor_trials &&
+            rel_ci_width(summarize(samples)) <= config.ci_rel_target)
+          open[p][s] = 0;
+      }
     }
   }
 
   SweepResult out;
   out.name = name;
   out.master_seed = config.master_seed;
-  out.trials = trials;
+  out.trials = config.trials;
+  out.max_trials = config.max_trials;
+  out.ci_rel_target = adaptive ? config.ci_rel_target : 0.0;
   out.threads = config.threads;
   out.reuse_graph = config.reuse_graph;
   out.wall_seconds = sweep_timer.seconds();
@@ -125,11 +204,11 @@ SweepResult run_sweep(const std::string& name,
     pr.label = point.label;
     pr.params = point.params;
     pr.series.resize(point.series.size());
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      const UnitRecord& rec = records[p * trials + t];
+    for (const UnitRecord& rec : records[p]) {
       pr.gen_seconds += rec.gen_seconds;
       for (std::size_t s = 0; s < point.series.size(); ++s) {
         const SeriesCell& cell = rec.cells[s];
+        if (!cell.ran) continue;
         SweepSeriesResult& sr = pr.series[s];
         sr.samples.push_back(cell.value);
         sr.walk_seconds += cell.walk_seconds;
@@ -140,6 +219,8 @@ SweepResult run_sweep(const std::string& name,
       SweepSeriesResult& sr = pr.series[s];
       sr.name = point.series[s].name;
       sr.stats = summarize(sr.samples);
+      sr.trials_used = static_cast<std::uint32_t>(sr.samples.size());
+      sr.ci_rel_width = rel_ci_width(sr.stats);
       out.walk_seconds += sr.walk_seconds;
     }
     out.gen_seconds += pr.gen_seconds;

@@ -3,16 +3,25 @@
 //
 // A sweep is a grid of SweepPoints (e.g. Figure 1's degree × size grid);
 // each point names a graph factory and one or more measured series (process
-// + cover target). run_sweep flattens points × trials into independent unit
-// tasks and drains them on the persistent ThreadPool, so parallelism spans
-// the whole grid — not just the trials of one point — and per-trial graph
-// construction happens inside pool tasks instead of serially on the caller.
+// + cover target). run_sweep schedules (point, trial) unit tasks and drains
+// them on the persistent ThreadPool, so parallelism spans the whole grid —
+// not just the trials of one point — and per-trial graph construction
+// happens inside pool tasks instead of serially on the caller.
+//
+// Trial counts are either fixed (SweepConfig::max_trials == 0: every series
+// runs exactly `trials` trials, the historical behaviour) or adaptive
+// (max_trials > 0: every series runs at least `trials` trials — the floor —
+// and keeps accruing trials in barrier-synchronised rounds until its 95% CI
+// half-width falls to ci_rel_target of its mean or the max_trials cap is
+// hit). Adaptive stopping decisions are made only at round barriers, from
+// completed samples only, so they are a pure function of the sample values.
 //
 // Determinism: every rng used by a unit is derived by sweep_stream() as a
 // pure function of (master_seed, point index, trial index, role), never of
-// thread identity or scheduling order. Sweep samples are therefore
-// bit-identical across --threads 1 / 4 / hardware (pinned by
-// tests/sweep_test.cpp); only the wall-clock fields vary.
+// thread identity, scheduling order, or the adaptive state. Sweep samples
+// are therefore bit-identical across --threads 1 / 4 / hardware, and any
+// common trial prefix is bit-identical between fixed and adaptive runs
+// (pinned by tests/sweep_test.cpp); only the wall-clock fields vary.
 //
 // Graph reuse: with SweepConfig::reuse_graph (the default) the unit builds
 // one graph per (point, trial) and runs every series of the point on it —
@@ -58,18 +67,29 @@ struct SweepPoint {
 
 /// Sweep-wide execution configuration.
 struct SweepConfig {
-  std::uint32_t trials = 5;       ///< trials per point (the paper used 5)
+  std::uint32_t trials = 5;       ///< trials per point — the floor in adaptive mode (the paper used 5)
   std::uint32_t threads = 0;      ///< parallelism cap; 0 = hardware concurrency
   std::uint64_t master_seed = 1;  ///< root of every derived stream
   bool reuse_graph = true;        ///< one graph per (point, trial) shared by all series
+  /// Adaptive-trials cap: 0 keeps the fixed `trials`-per-series behaviour;
+  /// > 0 lets each (point, series) accrue trials past the `trials` floor —
+  /// in deterministic barrier rounds — until its CI is narrow enough (see
+  /// ci_rel_target) or this cap is reached. Clamped up to `trials`.
+  std::uint32_t max_trials = 0;
+  /// Adaptive stopping target: a series closes once its 95% CI half-width
+  /// is <= this fraction of |mean| (and the floor is met). Only consulted
+  /// when max_trials > 0.
+  double ci_rel_target = 0.05;
 };
 
 /// Aggregate of one series at one point.
 struct SweepSeriesResult {
   std::string name;                      ///< series key
   SummaryStats stats;                    ///< over the per-trial samples
-  std::vector<double> samples;           ///< one per trial, trial order
+  std::vector<double> samples;           ///< one per trial run, trial order
   std::uint32_t uncovered_trials = 0;    ///< trials clamped to the budget
+  std::uint32_t trials_used = 0;         ///< trials actually run (== samples.size())
+  double ci_rel_width = 0.0;             ///< final 95% CI half-width / |mean| (0 when mean is 0)
   double walk_seconds = 0.0;             ///< walking wall time, summed over trials
 };
 
@@ -86,7 +106,9 @@ struct SweepPointResult {
 struct SweepResult {
   std::string name;                    ///< sweep name (file stem of SWEEP_<name>.json)
   std::uint64_t master_seed = 0;       ///< seed the streams were derived from
-  std::uint32_t trials = 0;            ///< trials per point
+  std::uint32_t trials = 0;            ///< trials floor per point
+  std::uint32_t max_trials = 0;        ///< adaptive cap as configured (0 = fixed trials)
+  double ci_rel_target = 0.0;          ///< adaptive CI target (0 when fixed)
   std::uint32_t threads = 0;           ///< configured parallelism (0 = hardware)
   bool reuse_graph = true;             ///< whether series shared per-trial graphs
   double gen_seconds = 0.0;            ///< total graph-generation wall time (CPU-side, summed over tasks)
@@ -96,17 +118,20 @@ struct SweepResult {
 };
 
 /// Derives the rng stream for (point, trial, role) from the master seed —
-/// a pure function of its arguments, so which pool thread runs a unit can
-/// never change a sample. Roles: 0 = the shared per-(point, trial) graph
-/// stream; 2s+1 = the walk stream of series s; 2s+2 = the private graph
-/// stream of series s when reuse is off.
+/// a pure function of its arguments, so neither the pool thread a unit runs
+/// on nor the adaptive trial count can ever change a sample. Roles: 0 = the
+/// shared per-(point, trial) graph stream; 2s+1 = the walk stream of series
+/// s; 2s+2 = the private graph stream of series s when reuse is off.
 Rng sweep_stream(std::uint64_t master_seed, std::uint64_t point,
                  std::uint64_t trial, std::uint64_t role);
 
-/// Runs the sweep: points × trials unit tasks on the persistent ThreadPool
+/// Runs the sweep: (point, trial) unit tasks on the persistent ThreadPool
 /// (the calling thread participates; threads <= 1 runs inline). Trials that
 /// fail to reach their target within the step budget contribute the budget
-/// as their sample and are counted in uncovered_trials.
+/// as their sample and are counted in uncovered_trials. With
+/// SweepConfig::max_trials > 0 trials are scheduled in adaptive rounds —
+/// closed series stop consuming trials while the rest of their point keeps
+/// going — otherwise every series runs exactly SweepConfig::trials trials.
 SweepResult run_sweep(const std::string& name,
                       const std::vector<SweepPoint>& points,
                       const SweepConfig& config);

@@ -1,0 +1,33 @@
+// Process peak-RSS probe for the memory-envelope numbers the generation
+// microbench and REPRODUCING.md report (e.g. "n=1e7 r=4 stays within ~1.5x
+// of the final CSR"). getrusage-based: zero overhead until queried, no
+// /proc parsing, works in CI sandboxes.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ewalk {
+
+/// Peak resident set size of this process, in bytes, since process start
+/// (ru_maxrss: KiB on Linux, bytes on macOS). Returns 0 on platforms
+/// without getrusage — callers treat 0 as "unavailable" and skip the
+/// memory line rather than printing nonsense.
+inline std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ewalk

@@ -12,6 +12,7 @@
 #include "engine/driver.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/union_find.hpp"
 #include "walks/rules.hpp"
 
 namespace ewalk {
@@ -364,6 +365,90 @@ TEST(RandomGeometric, LargeRadiusIsComplete) {
   Rng rng(11);
   const Graph g = random_geometric(30, 2.0, rng);
   EXPECT_EQ(g.num_edges(), 30u * 29 / 2);
+}
+
+// ---- Generation ↔ connectivity contract -----------------------------------
+//
+// The connected variants must decide retries with a union-find over the
+// edge list (see docs/ARCHITECTURE.md): edge_list_connected has to agree
+// with BFS is_connected on every multigraph, and the generators must never
+// call is_connected themselves — pinned here through the BFS counter.
+
+TEST(EdgeListConnected, AgreesWithBfsOnAdversarialInputs) {
+  struct Case {
+    const char* what;
+    Vertex n;
+    std::vector<Endpoints> edges;
+  };
+  const std::vector<Case> cases = {
+      {"empty graph", 0, {}},
+      {"single vertex, no edges", 1, {}},
+      {"single vertex, self-loop", 1, {{0, 0}}},
+      {"isolated vertex", 2, {}},
+      {"one edge", 2, {{0, 1}}},
+      {"self-loops only (disconnected)", 3, {{0, 0}, {1, 1}, {2, 2}}},
+      {"parallel edges, connected", 3, {{0, 1}, {0, 1}, {1, 2}}},
+      {"parallel edges + loop, isolated third", 3, {{0, 1}, {0, 1}, {0, 0}}},
+      {"triangle plus isolated", 4, {{0, 1}, {1, 2}, {2, 0}}},
+      {"two components, loops and multi-edges",
+       6,
+       {{0, 1}, {1, 2}, {2, 0}, {2, 2}, {3, 4}, {4, 5}, {5, 3}, {3, 4}}},
+      {"path hitting every vertex", 5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+  };
+  for (const Case& c : cases) {
+    const Graph g = Graph::from_edges(c.n, std::vector<Endpoints>(c.edges));
+    EXPECT_EQ(edge_list_connected(c.n, c.edges), is_connected(g)) << c.what;
+  }
+}
+
+TEST(EdgeListConnected, AgreesWithBfsOnBarelyDisconnectedRegular) {
+  // Two disjoint random 4-regular halves: r-regular overall, min degree
+  // fine, yet disconnected — exactly the instance a degree-based or
+  // min-degree shortcut would misclassify.
+  Rng rng(5);
+  const Graph a = random_regular_pairing(50, 4, rng);
+  const Graph b = random_regular_pairing(50, 4, rng);
+  std::vector<Endpoints> edges;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) edges.push_back(a.endpoints(e));
+  for (EdgeId e = 0; e < b.num_edges(); ++e) {
+    const auto [u, v] = b.endpoints(e);
+    edges.push_back({u + 50, v + 50});
+  }
+  EXPECT_FALSE(edge_list_connected(100, edges));
+  // One bridge makes it connected again.
+  edges.push_back({0, 50});
+  EXPECT_TRUE(edge_list_connected(100, edges));
+  const Graph joined = Graph::from_edges(100, std::move(edges));
+  EXPECT_TRUE(is_connected(joined));
+}
+
+TEST(GenerationCounters, ConnectedGeneratorsNeverCallBfs) {
+  Rng rng(123);
+  reset_generation_counters();
+  const std::uint64_t bfs_before = connectivity_bfs_calls();
+  for (int i = 0; i < 3; ++i) {
+    const Graph g = random_regular_pairing_connected(300, 3, rng);
+    EXPECT_TRUE(g.is_regular(3));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const Graph g = random_regular_connected(200, 4, rng);
+    EXPECT_TRUE(g.is_regular(4));
+  }
+  EXPECT_EQ(connectivity_bfs_calls(), bfs_before)
+      << "generation fell back to a BFS connectivity check";
+  const GenerationCounters gc = generation_counters();
+  EXPECT_GE(gc.pairing_attempts, 3u);
+  EXPECT_GE(gc.sw_attempts, 3u);
+}
+
+TEST(GenerationCounters, ConnectedVariantsRejectUncoverableDegreeZero) {
+  // r = 0 with n > 1 can never be connected; the connected variants throw
+  // instead of looping forever (the unconstrained ones still accept it).
+  Rng rng(1);
+  EXPECT_THROW(random_regular_connected(4, 0, rng), std::invalid_argument);
+  EXPECT_THROW(random_regular_pairing_connected(4, 0, rng),
+               std::invalid_argument);
+  EXPECT_EQ(random_regular(4, 0, rng).num_edges(), 0u);
 }
 
 }  // namespace

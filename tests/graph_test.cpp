@@ -2,7 +2,10 @@
 // integrity, basic algorithms, and serialisation.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/graph.hpp"
@@ -102,10 +105,72 @@ TEST(Graph, FromEdgesRejectsOutOfRange) {
 }
 
 TEST(Graph, EmptyGraph) {
-  const Graph g = Graph::from_edges(0, {});
+  const Graph g = Graph::from_edges(0, std::vector<Endpoints>{});
   EXPECT_EQ(g.num_vertices(), 0u);
   EXPECT_EQ(g.num_edges(), 0u);
   EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Graph, MoveBuildMatchesCopyBuildExactly) {
+  // The memory-lean move overload must produce a bit-identical CSR to the
+  // span (copying) overload: same slot order, same edge ids, same flags —
+  // walks replay the same trajectories whichever path built the graph.
+  Rng rng(7);
+  const Graph ref = random_regular_pairing(200, 5, rng);
+  std::vector<Endpoints> edges;
+  for (EdgeId e = 0; e < ref.num_edges(); ++e) edges.push_back(ref.endpoints(e));
+
+  const Graph copied =
+      Graph::from_edges(200, std::span<const Endpoints>(edges));
+  const Graph moved = Graph::from_edges(200, std::move(edges));
+  ASSERT_EQ(copied.num_edges(), moved.num_edges());
+  for (EdgeId e = 0; e < copied.num_edges(); ++e) {
+    const auto [cu, cv] = copied.endpoints(e);
+    const auto [mu, mv] = moved.endpoints(e);
+    EXPECT_EQ(cu, mu);
+    EXPECT_EQ(cv, mv);
+  }
+  for (Vertex v = 0; v < copied.num_vertices(); ++v) {
+    ASSERT_EQ(copied.degree(v), moved.degree(v));
+    for (std::uint32_t k = 0; k < copied.degree(v); ++k) {
+      EXPECT_EQ(copied.slot(v, k).neighbor, moved.slot(v, k).neighbor);
+      EXPECT_EQ(copied.slot(v, k).edge, moved.slot(v, k).edge);
+    }
+  }
+  EXPECT_EQ(copied.is_simple(), moved.is_simple());
+}
+
+TEST(Graph, MoveBuildCensusHandlesLoopsAndParallels) {
+  // The parallel-edge census is folded into the slot scan; self-loops (twin
+  // adjacent slots), duplicate loops, and k-fold parallel edges must all be
+  // classified exactly as the builder path used to.
+  std::vector<Endpoints> edges = {{0, 1}, {0, 1}, {0, 1},  // 3-fold parallel
+                                  {1, 1}, {1, 1},          // duplicate loops
+                                  {2, 3}, {3, 2},          // parallel, reversed
+                                  {4, 4}};                 // lone loop
+  const Graph g = Graph::from_edges(5, std::move(edges));
+  EXPECT_TRUE(g.has_self_loops());
+  EXPECT_TRUE(g.has_parallel_edges());
+  EXPECT_FALSE(g.is_simple());
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 7u);  // 3 parallels + two loops counting twice
+  EXPECT_EQ(g.degree(4), 2u);
+
+  const Graph simple = Graph::from_edges(
+      3, std::vector<Endpoints>{{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(simple.is_simple());
+}
+
+TEST(GraphBuilder, BuildTwiceFromLvalueThenMoveFromRvalue) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph first = b.build();   // lvalue build copies: builder reusable
+  const Graph second = b.build();
+  EXPECT_EQ(first.num_edges(), second.num_edges());
+  const Graph last = std::move(b).build();  // rvalue build adopts the edges
+  EXPECT_EQ(last.num_edges(), 2u);
+  EXPECT_EQ(last.degree(1), 2u);
 }
 
 TEST(Algorithms, BfsDistancesOnPath) {

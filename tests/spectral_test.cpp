@@ -103,7 +103,7 @@ TEST(EstimateSpectrum, MargulisHasConstantGap) {
 }
 
 TEST(EstimateSpectrum, RejectsEmptyGraph) {
-  EXPECT_THROW(estimate_spectrum(Graph::from_edges(3, {})), std::invalid_argument);
+  EXPECT_THROW(estimate_spectrum(Graph::from_edges(3, std::vector<Endpoints>{})), std::invalid_argument);
 }
 
 TEST(MixingTime, Lemma7Formula) {

@@ -170,6 +170,91 @@ TEST(SweepDriver, EdgeTargetUsesEdgeCoverStep) {
   for (const double v : result.points[0].series[0].samples) EXPECT_EQ(v, 50.0);
 }
 
+TEST(SweepAdaptive, TrialCountsStayWithinFloorAndCap) {
+  // Random cover times on small graphs: a near-zero CI target cannot be met,
+  // so every series must run exactly to the cap; with an unreachable (huge)
+  // target, every series must close at the floor.
+  SweepConfig config;
+  config.trials = 3;
+  config.threads = 1;
+  config.master_seed = 21;
+  config.max_trials = 11;
+  config.ci_rel_target = 1e-9;
+  const auto at_cap = run_sweep("t", small_points(), config);
+  for (const auto& point : at_cap.points)
+    for (const auto& sr : point.series) {
+      EXPECT_EQ(sr.trials_used, 11u);
+      EXPECT_EQ(sr.samples.size(), 11u);
+      EXPECT_GT(sr.ci_rel_width, 0.0);
+    }
+
+  config.ci_rel_target = 1e9;
+  const auto at_floor = run_sweep("t", small_points(), config);
+  for (const auto& point : at_floor.points)
+    for (const auto& sr : point.series) {
+      EXPECT_EQ(sr.trials_used, 3u);
+      EXPECT_EQ(sr.samples.size(), 3u);
+    }
+}
+
+TEST(SweepAdaptive, DeterministicSeriesClosesAtFloor) {
+  // The E-process vertex-covers a cycle in exactly n-1 steps every trial:
+  // zero variance, so the CI closes the series the first time it is checked
+  // — at the floor — while the cap would allow many more trials.
+  SweepPoint point;
+  point.label = "cycle";
+  point.params = {{"n", 80.0}};
+  point.graph = [](Rng&) { return cycle_graph(80); };
+  point.series = {SweepSeriesSpec{"eprocess", eprocess_factory(),
+                                  CoverTarget::kVertices}};
+  SweepConfig config;
+  config.trials = 2;
+  config.threads = 1;
+  config.max_trials = 50;
+  config.ci_rel_target = 0.05;
+  const auto result = run_sweep("t", {point}, config);
+  const SweepSeriesResult& sr = result.points[0].series[0];
+  EXPECT_EQ(sr.trials_used, 2u);
+  EXPECT_EQ(sr.ci_rel_width, 0.0);
+  for (const double v : sr.samples) EXPECT_EQ(v, 79.0);
+}
+
+TEST(SweepAdaptive, SamplesInvariantAcrossThreadCountsAndPrefixFixedRun) {
+  // The adaptive schedule must be a pure function of the samples: the full
+  // per-series sample vectors are bit-identical across --threads 1 / 4 /
+  // hardware, and any fixed-trials run is a bit-identical prefix of the
+  // adaptive one (trial t's streams do not depend on how many trials run).
+  SweepConfig config;
+  config.trials = 3;
+  config.master_seed = 99;
+  config.max_trials = 9;
+  config.ci_rel_target = 1e-9;  // forces extra rounds beyond the floor
+
+  config.threads = 1;
+  const auto serial = run_sweep("t", small_points(), config);
+  config.threads = 4;
+  const auto four = all_samples(run_sweep("t", small_points(), config));
+  config.threads = 0;  // hardware concurrency
+  const auto hardware = all_samples(run_sweep("t", small_points(), config));
+
+  const auto serial_samples = all_samples(serial);
+  EXPECT_EQ(serial_samples, four);
+  EXPECT_EQ(serial_samples, hardware);
+
+  SweepConfig fixed;
+  fixed.trials = 3;
+  fixed.master_seed = 99;
+  fixed.threads = 1;
+  const auto prefix = all_samples(run_sweep("t", small_points(), fixed));
+  ASSERT_EQ(prefix.size(), serial_samples.size());
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    ASSERT_GE(serial_samples[i].size(), prefix[i].size());
+    for (std::size_t t = 0; t < prefix[i].size(); ++t)
+      EXPECT_EQ(serial_samples[i][t], prefix[i][t])
+          << "series " << i << " trial " << t;
+  }
+}
+
 TEST(SweepReport, WritesSchemaConformantJsonAndCsv) {
   SweepConfig config;
   config.trials = 2;
@@ -188,10 +273,12 @@ TEST(SweepReport, WritesSchemaConformantJsonAndCsv) {
   buf << json.rdbuf();
   const std::string body = buf.str();
   for (const char* needle :
-       {"\"sweep\": \"unit_test\"", "\"version\": 1", "\"trials\": 2",
-        "\"points\": [", "\"params\": {\"n\": 60}", "\"name\": \"srw\"",
+       {"\"sweep\": \"unit_test\"", "\"version\": 2", "\"trials\": 2",
+        "\"max_trials\": 0", "\"ci_rel_target\": 0", "\"points\": [",
+        "\"params\": {\"n\": 60}", "\"name\": \"srw\"",
         "\"name\": \"eprocess\"", "\"samples\": [", "\"gen_seconds\":",
-        "\"walk_seconds\":", "\"uncovered_trials\": 0"}) {
+        "\"walk_seconds\":", "\"uncovered_trials\": 0",
+        "\"trials_used\": 2", "\"ci_rel_width\":"}) {
     EXPECT_NE(body.find(needle), std::string::npos) << "missing: " << needle;
   }
 
@@ -201,7 +288,7 @@ TEST(SweepReport, WritesSchemaConformantJsonAndCsv) {
   std::getline(csv, header);
   EXPECT_EQ(header,
             "label,n,series,mean,ci95,median,min,max,uncovered_trials,"
-            "walk_seconds,gen_seconds");
+            "trials_used,ci_rel_width,walk_seconds,gen_seconds");
   std::size_t rows = 0;
   for (std::string line; std::getline(csv, line);)
     if (!line.empty()) ++rows;

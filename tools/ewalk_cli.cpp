@@ -72,10 +72,13 @@ void print_help() {
       "             [--trials N] [--threads T] [--seed S]\n"
       "             [--target vertices|edges|coalescence]\n"
       "             [--max-steps B] [--csv out.csv] [--profile]\n"
-      "             [--sweep n1,n2,...]\n"
+      "             [--sweep n1,n2,...] [--max-trials M] [--ci-width W]\n"
       "       (--walk is a synonym for --process, --generator for --graph;\n"
       "        --threads 0 = all cores; --sweep sweeps --n over the listed\n"
-      "        sizes via the sweep driver and writes bench_out/SWEEP_cli.json)\n\n");
+      "        sizes via the sweep driver and writes bench_out/SWEEP_cli.json;\n"
+      "        --max-trials M > 0 makes trial counts adaptive: each series\n"
+      "        runs --trials to M trials until its 95%% CI half-width is\n"
+      "        within --ci-width (default 0.05) of its mean)\n\n");
   std::printf("graph families (--graph):\n");
   for (const auto& e : GeneratorRegistry::instance().entries())
     std::printf("  %-12s %-22s %s\n", e.name.c_str(), e.params_help.c_str(),
@@ -147,10 +150,19 @@ int run_cli_sweep(const Cli& cli, const std::string& family,
   config.trials = trials;
   config.threads = static_cast<std::uint32_t>(cli.get_int("threads", 1));
   config.master_seed = cli.get_u64("seed", 1);
+  config.max_trials = static_cast<std::uint32_t>(cli.get_u64("max-trials", 0));
+  config.ci_rel_target = cli.get_double("ci-width", config.ci_rel_target);
   const SweepResult result = run_sweep("cli", points, config);
 
-  std::printf("sweep: %s on %s, target %s, %u trials/point\n", process.c_str(),
-              family.c_str(), target.c_str(), trials);
+  if (config.max_trials > 0)
+    std::printf(
+        "sweep: %s on %s, target %s, adaptive trials (floor %u, cap %u, "
+        "CI width <= %.3g of mean)\n",
+        process.c_str(), family.c_str(), target.c_str(), trials,
+        config.max_trials, config.ci_rel_target);
+  else
+    std::printf("sweep: %s on %s, target %s, %u trials/point\n",
+                process.c_str(), family.c_str(), target.c_str(), trials);
   print_sweep_table(result);
   const std::string json = write_sweep_json(result);
   const std::string csv = write_sweep_csv(result);

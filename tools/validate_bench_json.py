@@ -8,8 +8,11 @@ dispatched on the top-level tag:
 
   * BENCH_throughput.json  ({"bench": "throughput", "version": 1, ...})
     written by bench/throughput.cpp;
-  * SWEEP_<name>.json      ({"sweep": <name>, "version": 1, ...})
-    written by src/sweep/report.cpp for every sweep bench.
+  * SWEEP_<name>.json      ({"sweep": <name>, "version": 1 or 2, ...})
+    written by src/sweep/report.cpp for every sweep bench. Version 2 adds
+    the adaptive-trials fields (top-level "max_trials"/"ci_rel_target",
+    per-series "trials_used"/"ci_rel_width"); version 1 files from older
+    artifacts are still accepted.
 
 Usage: validate_bench_json.py FILE [FILE...]
 Exits non-zero (with a per-file message) on the first violation.
@@ -39,15 +42,24 @@ def validate_throughput(path, d):
 
 
 def validate_sweep(path, d):
-    if d.get("version") != 1:
-        fail(path, f"unexpected version {d.get('version')}")
-    for key in ("sweep", "seed", "trials", "threads", "reuse_graph",
-                "gen_seconds", "walk_seconds", "wall_seconds", "points"):
+    version = d.get("version")
+    if version not in (1, 2):
+        fail(path, f"unexpected version {version}")
+    required = ["sweep", "seed", "trials", "threads", "reuse_graph",
+                "gen_seconds", "walk_seconds", "wall_seconds", "points"]
+    if version >= 2:
+        required += ["max_trials", "ci_rel_target"]
+    for key in required:
         if key not in d:
             fail(path, f"missing top-level {key}")
     trials = d["trials"]
     if not (isinstance(trials, int) and trials > 0):
         fail(path, f"bad trials: {trials!r}")
+    max_trials = d.get("max_trials", 0)
+    adaptive = version >= 2 and max_trials > 0
+    cap = max(max_trials, trials) if adaptive else trials
+    if adaptive and not (0 < d["ci_rel_target"] < 1):
+        fail(path, f"bad ci_rel_target: {d['ci_rel_target']!r}")
     points = d["points"]
     if not points:
         fail(path, "empty points array")
@@ -65,22 +77,35 @@ def validate_sweep(path, d):
         if not point["series"]:
             fail(path, f"point {point['label']} has no series")
         for series in point["series"]:
-            for key in ("name", "mean", "ci95", "median", "min", "max",
-                        "uncovered_trials", "walk_seconds", "samples"):
+            keys = ["name", "mean", "ci95", "median", "min", "max",
+                    "uncovered_trials", "walk_seconds", "samples"]
+            if version >= 2:
+                keys += ["trials_used", "ci_rel_width"]
+            for key in keys:
                 if key not in series:
                     fail(path, f"series missing {key} at {point['label']}")
-            if len(series["samples"]) != trials:
+            used = series.get("trials_used", trials)
+            if not (trials <= used <= cap):
                 fail(path, f"{point['label']}/{series['name']}: "
-                           f"{len(series['samples'])} samples, want {trials}")
+                           f"trials_used {used} outside [{trials}, {cap}]")
+            if not adaptive and used != trials:
+                fail(path, f"{point['label']}/{series['name']}: "
+                           f"trials_used {used} != trials in fixed mode")
+            if len(series["samples"]) != used:
+                fail(path, f"{point['label']}/{series['name']}: "
+                           f"{len(series['samples'])} samples, want {used}")
             if not (series["min"] <= series["median"] <= series["max"]):
                 fail(path, f"{point['label']}/{series['name']}: "
                            "min/median/max out of order")
-            if series["uncovered_trials"] > trials:
+            if series["uncovered_trials"] > used:
                 fail(path, f"{point['label']}/{series['name']}: "
-                           "uncovered_trials exceeds trials")
+                           "uncovered_trials exceeds trials_used")
+            if version >= 2 and series["ci_rel_width"] < 0:
+                fail(path, f"{point['label']}/{series['name']}: "
+                           "negative ci_rel_width")
     n_series = sum(len(p["series"]) for p in points)
-    print(f"{path}: OK ({len(points)} points, {n_series} series, "
-          f"{trials} trials/point)")
+    mode = f"adaptive cap {cap}" if adaptive else f"{trials} trials/point"
+    print(f"{path}: OK ({len(points)} points, {n_series} series, {mode})")
 
 
 def main(argv):
