@@ -1,7 +1,7 @@
 #include "covertime/experiment.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "engine/adapters.hpp"
 #include "engine/budget.hpp"
@@ -17,8 +17,7 @@ std::vector<double> run_trials(std::uint32_t count, std::uint32_t threads,
   std::vector<Rng> streams = derive_streams(master_seed, count);
   std::vector<double> results(count, 0.0);
 
-  std::uint32_t workers = threads == 0 ? std::thread::hardware_concurrency() : threads;
-  if (workers == 0) workers = 1;
+  std::uint32_t workers = threads == 0 ? Executor::hardware_threads() : threads;
   workers = std::min(workers, count == 0 ? 1u : count);
 
   if (workers <= 1) {
@@ -26,12 +25,13 @@ std::vector<double> run_trials(std::uint32_t count, std::uint32_t threads,
     return results;
   }
 
-  // The persistent pool replaces per-call thread spawn/join. Trial i's
-  // stream is a pure function of (master_seed, i), so which pool thread
-  // runs it cannot affect the result.
-  ThreadPool::instance().parallel_for(
-      count, workers,
-      [&](std::uint32_t i) { results[i] = fn(streams[i], i); });
+  // One trial per scheduler task. Trial i's stream is a pure function of
+  // (master_seed, i), so which thread steals it cannot affect the result;
+  // the scope cap keeps at most `workers` threads on this call.
+  TaskScope scope(workers);
+  for (std::uint32_t i = 0; i < count; ++i)
+    scope.spawn([&results, &streams, &fn, i] { results[i] = fn(streams[i], i); });
+  scope.wait();
   return results;
 }
 

@@ -31,8 +31,9 @@ namespace ewalk {
 
 /// Runs `count` trials of `fn`, each with an independent stream derived from
 /// `master_seed`, with up to `threads`-way parallelism (0 => hardware
-/// default) on the persistent process-wide pool (util/thread_pool.hpp) — no
-/// thread spawn/teardown per call. Trial i's stream depends only on
+/// default) as a TaskScope on the work-stealing Executor
+/// (util/thread_pool.hpp) — no thread spawn/teardown per call, and callers
+/// already inside a scope nest cleanly. Trial i's stream depends only on
 /// (master_seed, i), so results are bit-identical across thread counts and
 /// are returned in trial order. `fn` must be safe to call concurrently from
 /// several threads (it receives a private Rng).

@@ -37,7 +37,7 @@ std::string write_sweep_json(const SweepResult& result,
     throw std::runtime_error("write_sweep_json: cannot open " + path);
 
   std::fprintf(f,
-               "{\n  \"sweep\": \"%s\",\n  \"version\": 2,\n"
+               "{\n  \"sweep\": \"%s\",\n  \"version\": 3,\n"
                "  \"seed\": %llu,\n  \"trials\": %u,\n  \"max_trials\": %u,\n"
                "  \"ci_rel_target\": ",
                json_escape(result.name).c_str(),
@@ -46,13 +46,37 @@ std::string write_sweep_json(const SweepResult& result,
   print_double(f, result.ci_rel_target);
   std::fprintf(f, ",\n  \"threads\": %u,\n  \"reuse_graph\": %s,\n",
                result.threads, result.reuse_graph ? "true" : "false");
+  std::fprintf(f, "  \"pin\": %s,\n", result.pinned ? "true" : "false");
   std::fprintf(f, "  \"gen_seconds\": ");
   print_double(f, result.gen_seconds);
   std::fprintf(f, ",\n  \"walk_seconds\": ");
   print_double(f, result.walk_seconds);
   std::fprintf(f, ",\n  \"wall_seconds\": ");
   print_double(f, result.wall_seconds);
-  std::fprintf(f, ",\n  \"points\": [\n");
+  std::fprintf(f, ",\n  \"unit_count\": %u,\n  \"unit_seconds_min\": ",
+               result.unit_count);
+  print_double(f, result.unit_seconds_min);
+  std::fprintf(f, ",\n  \"unit_seconds_max\": ");
+  print_double(f, result.unit_seconds_max);
+  std::fprintf(f, ",\n  \"timeline_bucket_seconds\": ");
+  print_double(f, result.timeline_bucket_seconds);
+  std::fprintf(f, ",\n  \"thread_timeline\": [");
+  for (std::size_t i = 0; i < result.thread_timeline.size(); ++i) {
+    const SweepThreadTimeline& timeline = result.thread_timeline[i];
+    std::fprintf(f, "%s\n    {\"thread\": %u, \"busy_seconds\": [",
+                 i > 0 ? "," : "", timeline.thread);
+    for (std::size_t b = 0; b < timeline.busy_seconds.size(); ++b) {
+      if (b > 0) std::fprintf(f, ", ");
+      print_double(f, timeline.busy_seconds[b]);
+    }
+    std::fprintf(f, "],\n     \"units\": [");
+    for (std::size_t b = 0; b < timeline.units.size(); ++b)
+      std::fprintf(f, "%s%llu", b > 0 ? ", " : "",
+                   static_cast<unsigned long long>(timeline.units[b]));
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, "%s],\n  \"points\": [\n",
+               result.thread_timeline.empty() ? "" : "\n  ");
 
   for (std::size_t p = 0; p < result.points.size(); ++p) {
     const SweepPointResult& point = result.points[p];
@@ -143,6 +167,19 @@ void print_sweep_timing_split(const SweepResult& result) {
       result.walk_seconds,
       accounted > 0 ? 100.0 * result.walk_seconds / accounted : 0.0,
       result.wall_seconds);
+  // Straggler diagnostic: a slowest unit well below the wall clock means
+  // trial-level parallelism kept the sweep from being bounded by its
+  // biggest (point, trial) unit.
+  std::printf(
+      "unit spread: %u units, fastest %.3fs, slowest %.3fs (%.0f%% of wall)"
+      "; %zu thread%s active%s\n",
+      result.unit_count, result.unit_seconds_min, result.unit_seconds_max,
+      result.wall_seconds > 0
+          ? 100.0 * result.unit_seconds_max / result.wall_seconds
+          : 0.0,
+      result.thread_timeline.size(),
+      result.thread_timeline.size() == 1 ? "" : "s",
+      result.pinned ? " (pinned)" : "");
 }
 
 void print_sweep_table(const SweepResult& result) {

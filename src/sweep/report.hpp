@@ -8,13 +8,19 @@
 // the raw trial samples — so a figure can be rebuilt (or two commits
 // diffed sample-for-sample) without re-running the sweep.
 //
-// SWEEP_*.json schema, version 2 (v1 + adaptive-trials fields; validated by
-// tools/validate_bench_json.py, which still accepts v1 files from older
-// artifacts):
-//   { "sweep": str, "version": 2, "seed": u64, "trials": u32,
+// SWEEP_*.json schema, version 3 (v2 + scheduler observability: the pin
+// flag, the per-unit wall-clock spread, and the per-thread
+// throughput-over-time timeline; validated by tools/validate_bench_json.py,
+// which still accepts v1/v2 files from older artifacts):
+//   { "sweep": str, "version": 3, "seed": u64, "trials": u32,
 //     "max_trials": u32, "ci_rel_target": f64,
-//     "threads": u32, "reuse_graph": bool,
+//     "threads": u32, "reuse_graph": bool, "pin": bool,
 //     "gen_seconds": f64, "walk_seconds": f64, "wall_seconds": f64,
+//     "unit_count": u32, "unit_seconds_min": f64, "unit_seconds_max": f64,
+//     "timeline_bucket_seconds": f64,
+//     "thread_timeline": [
+//       { "thread": u32, "busy_seconds": [f64, ...],
+//         "units": [u64, ...] }, ... ],
 //     "points": [
 //       { "label": str, "params": { <name>: f64, ... }, "gen_seconds": f64,
 //         "series": [
@@ -24,7 +30,10 @@
 //             "walk_seconds": f64, "samples": [f64, ...] }, ... ] }, ... ] }
 // `trials` is the floor; "max_trials" is 0 for fixed-trials sweeps, in which
 // case every "trials_used" equals "trials". "samples" always has exactly
-// "trials_used" entries.
+// "trials_used" entries. "thread_timeline" has one entry per scheduler
+// thread that did sweep work, in timing-slot order; "busy_seconds" and
+// "units" are parallel arrays over the same fixed-width buckets
+// ("timeline_bucket_seconds" wide, spanning "wall_seconds").
 #pragma once
 
 #include <string>
@@ -53,8 +62,11 @@ std::string write_sweep_csv(const SweepResult& result,
 /// footer via print_sweep_timing_split().
 void print_sweep_table(const SweepResult& result);
 
-/// Prints just the generation-vs-walk wall-clock split — the line that says
-/// whether graph construction dominates the sweep.
+/// Prints the generation-vs-walk wall-clock split — the line that says
+/// whether graph construction dominates the sweep — followed by the
+/// per-unit spread line (slowest vs fastest unit against the wall clock,
+/// the straggler diagnostic) and the thread-utilisation summary from the
+/// v3 timeline.
 void print_sweep_timing_split(const SweepResult& result);
 
 }  // namespace ewalk

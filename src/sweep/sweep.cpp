@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <numeric>
 #include <optional>
-#include <thread>
 
 #include "engine/budget.hpp"
 #include "engine/driver.hpp"
@@ -14,28 +15,32 @@ namespace ewalk {
 
 namespace {
 
-// What one unit task (one point, one trial) records for one series.
+// What one unit task (one point, one trial) records for one series. Spans
+// are seconds relative to the sweep's start timer; `thread` is the
+// Executor::timing_slot of the thread that ran the series — bookkeeping
+// for the v3 timeline only, never an input to the measurement.
 struct SeriesCell {
   double value = 0.0;
   bool covered = false;
   bool ran = false;  // false when the series was already closed at this trial
   double walk_seconds = 0.0;
+  double gen_seconds = 0.0;  // private-graph build time (reuse off)
+  std::uint32_t thread = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
 };
 
 // What one unit task records in total. Units write disjoint slots of a
-// preallocated structure, so the pool needs no locking around results.
+// structure only resized between rounds, so tasks need no locking around
+// results; series subtasks of one unit write disjoint cells.
 struct UnitRecord {
-  double gen_seconds = 0.0;
+  double gen_seconds = 0.0;   // shared-graph build time (reuse on)
+  std::uint32_t gen_thread = 0;
+  double gen_t_start = 0.0;
+  double gen_t_end = 0.0;
+  double t_start = 0.0;  // whole-unit span, for the straggler report
+  double t_end = 0.0;
   std::vector<SeriesCell> cells;
-};
-
-// One (point, trial) unit scheduled in the current round, with the subset of
-// series still open at schedule time. The mask is fixed at the round barrier,
-// so which series run trial t is a pure function of completed samples.
-struct UnitTask {
-  std::size_t point = 0;
-  std::uint32_t trial = 0;
-  std::vector<std::uint8_t> run;  // per-series: measure this trial?
 };
 
 // Relative CI width used by both the adaptive stopping rule and the reports:
@@ -45,6 +50,37 @@ double rel_ci_width(const SummaryStats& stats) {
   return stats.mean != 0.0 ? stats.ci95_halfwidth() / std::abs(stats.mean)
                            : 0.0;
 }
+
+// Largest-expected-cost-first submission order, so the straggler point
+// starts first instead of last. The heuristic is n · r · series_count from
+// the point's declared params (n and r/d coordinates; absent ones count as
+// 1) — crude, but walk cost is superlinear in n, so any n-major order beats
+// the declaration order for heterogeneous grids. Stable, so equal-cost
+// points keep declaration order and the schedule stays reproducible.
+std::vector<std::size_t> submission_order(
+    const std::vector<SweepPoint>& points) {
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> cost(points.size(), 1.0);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    double n = 1.0, r = 1.0;
+    for (const SweepParam& param : points[p].params) {
+      if (param.name == "n") n = std::max(param.value, 1.0);
+      if (param.name == "r" || param.name == "d")
+        r = std::max(param.value, 1.0);
+    }
+    cost[p] = n * r *
+              static_cast<double>(std::max<std::size_t>(
+                  1, points[p].series.size()));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost[a] > cost[b];
+                   });
+  return order;
+}
+
+constexpr std::size_t kTimelineBuckets = 32;
 
 }  // namespace
 
@@ -69,123 +105,165 @@ SweepResult run_sweep(const std::string& name,
       adaptive ? std::max(config.max_trials, floor_trials) : floor_trials;
 
   std::uint32_t workers =
-      config.threads == 0 ? std::thread::hardware_concurrency() : config.threads;
+      config.threads == 0 ? Executor::hardware_threads() : config.threads;
   if (workers == 0) workers = 1;
+  const bool parallel = workers > 1 && !points.empty();
 
-  // Per-point progress. records[p][t] is trial t of point p; open[p][s] says
-  // whether series s still accrues trials; done[p] counts scheduled trials.
+  // records[p][t] is trial t of point p; done[p] counts its finished trials.
+  // Each point task owns its own slice; the caller reads everything back
+  // only after the root scope wait.
   std::vector<std::vector<UnitRecord>> records(points.size());
-  std::vector<std::vector<std::uint8_t>> open(points.size());
   std::vector<std::uint32_t> done(points.size(), 0);
-  for (std::size_t p = 0; p < points.size(); ++p)
-    open[p].assign(points[p].series.size(), 1);
 
-  const auto run_unit = [&](const UnitTask& task) {
-    const SweepPoint& point = points[task.point];
-    UnitRecord& rec = records[task.point][task.trial];
+  WallTimer sweep_timer;  // the epoch every recorded span is relative to
+
+  const auto run_series = [&](std::size_t p, std::uint32_t t, std::size_t s,
+                              const Graph* shared_graph) {
+    const SweepPoint& point = points[p];
+    const SweepSeriesSpec& spec = point.series[s];
+    SeriesCell& cell = records[p][t].cells[s];
+    cell.thread = Executor::timing_slot();
+    cell.t_start = sweep_timer.seconds();
+    Graph local;
+    const Graph* g;
+    if (shared_graph != nullptr) {
+      g = shared_graph;
+    } else {
+      Rng graph_rng = sweep_stream(config.master_seed, p, t, 2 * s + 2);
+      WallTimer gen_timer;
+      local = point.graph(graph_rng);
+      cell.gen_seconds = gen_timer.seconds();
+      g = &local;
+    }
+    Rng walk_rng = sweep_stream(config.master_seed, p, t, 2 * s + 1);
+    auto walk = spec.process(*g, walk_rng);
+    const std::uint64_t budget =
+        point.max_steps != 0 ? point.max_steps : default_step_budget(*g);
+    WallTimer walk_timer;
+    bool done_walk;
+    std::uint64_t result_step;
+    if (spec.target == CoverTarget::kVertices) {
+      done_walk = run_until(*walk, walk_rng, VertexCovered{}, budget);
+      result_step = walk->cover().vertex_cover_step();
+    } else {
+      done_walk = run_until(*walk, walk_rng, EdgesCovered{}, budget);
+      result_step = walk->cover().edge_cover_step();
+    }
+    cell.walk_seconds = walk_timer.seconds();
+    cell.covered = done_walk;
+    cell.ran = true;
+    cell.value = static_cast<double>(done_walk ? result_step : budget);
+    cell.t_end = sweep_timer.seconds();
+  };
+
+  const auto run_unit = [&](std::size_t p, std::uint32_t t,
+                            const std::vector<std::uint8_t>& mask) {
+    const SweepPoint& point = points[p];
+    UnitRecord& rec = records[p][t];
     rec.cells.resize(point.series.size());
+    rec.t_start = sweep_timer.seconds();
 
     std::optional<Graph> shared;
     if (config.reuse_graph) {
-      Rng graph_rng = sweep_stream(config.master_seed, task.point, task.trial, 0);
+      Rng graph_rng = sweep_stream(config.master_seed, p, t, 0);
+      rec.gen_thread = Executor::timing_slot();
+      rec.gen_t_start = sweep_timer.seconds();
       WallTimer gen_timer;
       shared.emplace(point.graph(graph_rng));
       rec.gen_seconds = gen_timer.seconds();
+      rec.gen_t_end = sweep_timer.seconds();
     }
-    for (std::size_t s = 0; s < point.series.size(); ++s) {
-      if (!task.run[s]) continue;
-      const SweepSeriesSpec& spec = point.series[s];
-      Graph local;
-      const Graph* g;
-      if (config.reuse_graph) {
-        g = &*shared;
-      } else {
-        Rng graph_rng =
-            sweep_stream(config.master_seed, task.point, task.trial, 2 * s + 2);
-        WallTimer gen_timer;
-        local = point.graph(graph_rng);
-        rec.gen_seconds += gen_timer.seconds();
-        g = &local;
-      }
-      Rng walk_rng =
-          sweep_stream(config.master_seed, task.point, task.trial, 2 * s + 1);
-      auto walk = spec.process(*g, walk_rng);
-      const std::uint64_t budget =
-          point.max_steps != 0 ? point.max_steps : default_step_budget(*g);
-      SeriesCell& cell = rec.cells[s];
-      WallTimer walk_timer;
-      bool done_walk;
-      std::uint64_t result_step;
-      if (spec.target == CoverTarget::kVertices) {
-        done_walk = run_until(*walk, walk_rng, VertexCovered{}, budget);
-        result_step = walk->cover().vertex_cover_step();
-      } else {
-        done_walk = run_until(*walk, walk_rng, EdgesCovered{}, budget);
-        result_step = walk->cover().edge_cover_step();
-      }
-      cell.walk_seconds = walk_timer.seconds();
-      cell.covered = done_walk;
-      cell.ran = true;
-      cell.value = static_cast<double>(done_walk ? result_step : budget);
+    const Graph* shared_graph = shared ? &*shared : nullptr;
+
+    std::uint32_t to_run = 0;
+    for (std::size_t s = 0; s < point.series.size(); ++s)
+      if (mask[s]) ++to_run;
+    if (parallel && to_run > 1) {
+      // Nested fan-out: the shared graph lives in this frame until the
+      // scope wait returns, so series subtasks may reference it freely.
+      TaskScope series_scope;
+      for (std::size_t s = 0; s < point.series.size(); ++s)
+        if (mask[s])
+          series_scope.spawn(
+              [&run_series, p, t, s, shared_graph] {
+                run_series(p, t, s, shared_graph);
+              });
+      series_scope.wait();
+    } else {
+      for (std::size_t s = 0; s < point.series.size(); ++s)
+        if (mask[s]) run_series(p, t, s, shared_graph);
     }
+    rec.t_end = sweep_timer.seconds();
   };
 
-  WallTimer sweep_timer;
-  while (true) {
-    // Schedule the next round at a barrier: every open point contributes a
-    // deterministic batch of fresh trial indices with its current open-series
-    // mask. Points with no series run the floor once (graph-generation-only
-    // sweeps) and then stop.
-    std::vector<UnitTask> round;
-    for (std::size_t p = 0; p < points.size(); ++p) {
+  // One task per point: the point runs its own adaptive round loop, with
+  // the old global round barrier replaced by a nested scope wait. A
+  // point's batch sizes and open-series masks were always pure functions
+  // of its *own* completed samples, so per-point barriers replay exactly
+  // the trial schedule the global barrier produced — bit-identical
+  // samples — while freeing other points to keep running.
+  const auto run_point = [&](std::size_t p) {
+    const SweepPoint& point = points[p];
+    std::vector<std::uint8_t> open(point.series.size(), 1);
+    std::uint32_t done_p = 0;
+    for (;;) {
       const bool point_open =
-          points[p].series.empty()
-              ? done[p] == 0
-              : std::any_of(open[p].begin(), open[p].end(),
+          point.series.empty()
+              ? done_p == 0
+              : std::any_of(open.begin(), open.end(),
                             [](std::uint8_t o) { return o != 0; });
-      if (!point_open || done[p] >= cap) continue;
-      // First round runs the floor; later rounds grow geometrically (half of
-      // what is already done, at least 1) so a slow-converging series needs
-      // only O(log(cap/floor)) barriers to reach the cap.
+      if (!point_open || done_p >= cap) break;
+      // First round runs the floor; later rounds grow geometrically (half
+      // of what is already done, at least 1) so a slow-converging series
+      // needs only O(log(cap/floor)) barriers to reach the cap.
       const std::uint32_t batch = std::min(
-          done[p] == 0 ? floor_trials : std::max(1u, done[p] / 2),
-          cap - done[p]);
-      records[p].resize(done[p] + batch);
-      for (std::uint32_t t = done[p]; t < done[p] + batch; ++t)
-        round.push_back(UnitTask{p, t, open[p]});
-      done[p] += batch;
-    }
-    if (round.empty()) break;
+          done_p == 0 ? floor_trials : std::max(1u, done_p / 2),
+          cap - done_p);
+      records[p].resize(done_p + batch);
+      if (parallel) {
+        TaskScope round_scope;
+        for (std::uint32_t t = done_p; t < done_p + batch; ++t)
+          round_scope.spawn([&run_unit, p, t, mask = open] {
+            run_unit(p, t, mask);
+          });
+        round_scope.wait();
+      } else {
+        for (std::uint32_t t = done_p; t < done_p + batch; ++t)
+          run_unit(p, t, open);
+      }
+      done_p += batch;
 
-    if (workers <= 1 || round.size() == 1) {
-      for (const UnitTask& task : round) run_unit(task);
-    } else {
-      ThreadPool::instance().parallel_for(
-          static_cast<std::uint32_t>(round.size()), workers,
-          [&](std::uint32_t u) { run_unit(round[u]); });
-    }
-
-    // Closure pass (single-threaded, at the barrier): the stopping decision
-    // is a pure function of the completed samples, which are bit-identical
-    // across thread counts, so the adaptive schedule is too.
-    for (std::size_t p = 0; p < points.size(); ++p) {
-      for (std::size_t s = 0; s < points[p].series.size(); ++s) {
-        if (!open[p][s]) continue;
-        if (done[p] >= cap) {
-          open[p][s] = 0;
+      // Closure pass at the round barrier: a pure function of this
+      // point's completed samples, which are bit-identical across thread
+      // counts, so the adaptive schedule is too.
+      for (std::size_t s = 0; s < point.series.size(); ++s) {
+        if (!open[s]) continue;
+        if (done_p >= cap) {
+          open[s] = 0;
           continue;
         }
         if (!adaptive) continue;  // fixed mode closes via the cap above
         std::vector<double> samples;
-        samples.reserve(done[p]);
-        for (std::uint32_t t = 0; t < done[p]; ++t)
+        samples.reserve(done_p);
+        for (std::uint32_t t = 0; t < done_p; ++t)
           if (records[p][t].cells[s].ran)
             samples.push_back(records[p][t].cells[s].value);
         if (samples.size() >= floor_trials &&
             rel_ci_width(summarize(samples)) <= config.ci_rel_target)
-          open[p][s] = 0;
+          open[s] = 0;
       }
     }
+    done[p] = done_p;
+  };
+
+  const std::vector<std::size_t> order = submission_order(points);
+  if (parallel) {
+    TaskScope sweep_scope(workers);
+    for (const std::size_t p : order)
+      sweep_scope.spawn([&run_point, p] { run_point(p); });
+    sweep_scope.wait();
+  } else {
+    for (const std::size_t p : order) run_point(p);
   }
 
   SweepResult out;
@@ -196,6 +274,7 @@ SweepResult run_sweep(const std::string& name,
   out.ci_rel_target = adaptive ? config.ci_rel_target : 0.0;
   out.threads = config.threads;
   out.reuse_graph = config.reuse_graph;
+  out.pinned = Executor::pinning_enabled();
   out.wall_seconds = sweep_timer.seconds();
   out.points.reserve(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
@@ -209,6 +288,7 @@ SweepResult run_sweep(const std::string& name,
       for (std::size_t s = 0; s < point.series.size(); ++s) {
         const SeriesCell& cell = rec.cells[s];
         if (!cell.ran) continue;
+        pr.gen_seconds += cell.gen_seconds;
         SweepSeriesResult& sr = pr.series[s];
         sr.samples.push_back(cell.value);
         sr.walk_seconds += cell.walk_seconds;
@@ -226,6 +306,75 @@ SweepResult run_sweep(const std::string& name,
     out.gen_seconds += pr.gen_seconds;
     out.points.push_back(std::move(pr));
   }
+
+  // Unit spread: the straggler report. A slowest unit far below the wall
+  // clock means trial-level parallelism kept the sweep from being bounded
+  // by its biggest (point, trial) unit.
+  double unit_min = 0.0, unit_max = 0.0;
+  std::uint32_t unit_count = 0;
+  for (const auto& point_records : records) {
+    for (const UnitRecord& rec : point_records) {
+      const double span = rec.t_end - rec.t_start;
+      if (unit_count == 0 || span < unit_min) unit_min = span;
+      if (span > unit_max) unit_max = span;
+      ++unit_count;
+    }
+  }
+  out.unit_count = unit_count;
+  out.unit_seconds_min = unit_min;
+  out.unit_seconds_max = unit_max;
+
+  // Per-thread throughput-over-time: fold every recorded busy span
+  // (generation + each series run) into fixed-width buckets over the
+  // sweep's wall clock, keyed by the thread's timing slot. `units` counts
+  // series completions in the bucket where each series ended.
+  const double bucket_seconds =
+      std::max(out.wall_seconds, 1e-9) / static_cast<double>(kTimelineBuckets);
+  out.timeline_bucket_seconds = bucket_seconds;
+  std::map<std::uint32_t, std::size_t> slot_index;
+  const auto slot_of = [&](std::uint32_t thread) -> SweepThreadTimeline& {
+    const auto [it, inserted] =
+        slot_index.try_emplace(thread, out.thread_timeline.size());
+    if (inserted) {
+      SweepThreadTimeline timeline;
+      timeline.thread = thread;
+      timeline.busy_seconds.assign(kTimelineBuckets, 0.0);
+      timeline.units.assign(kTimelineBuckets, 0);
+      out.thread_timeline.push_back(std::move(timeline));
+    }
+    return out.thread_timeline[it->second];
+  };
+  const auto bucket_of = [&](double at) {
+    const double b = std::floor(at / bucket_seconds);
+    return static_cast<std::size_t>(std::clamp(
+        b, 0.0, static_cast<double>(kTimelineBuckets - 1)));
+  };
+  const auto add_busy = [&](std::uint32_t thread, double t0, double t1) {
+    if (t1 <= t0) return;
+    SweepThreadTimeline& timeline = slot_of(thread);
+    for (std::size_t b = bucket_of(t0); b <= bucket_of(t1); ++b) {
+      const double lo = static_cast<double>(b) * bucket_seconds;
+      const double overlap =
+          std::min(t1, lo + bucket_seconds) - std::max(t0, lo);
+      if (overlap > 0.0) timeline.busy_seconds[b] += overlap;
+    }
+  };
+  for (const auto& point_records : records) {
+    for (const UnitRecord& rec : point_records) {
+      if (rec.gen_t_end > rec.gen_t_start)
+        add_busy(rec.gen_thread, rec.gen_t_start, rec.gen_t_end);
+      for (const SeriesCell& cell : rec.cells) {
+        if (!cell.ran) continue;
+        add_busy(cell.thread, cell.t_start, cell.t_end);
+        slot_of(cell.thread).units[bucket_of(cell.t_end)] += 1;
+      }
+    }
+  }
+  std::stable_sort(out.thread_timeline.begin(), out.thread_timeline.end(),
+                   [](const SweepThreadTimeline& a,
+                      const SweepThreadTimeline& b) {
+                     return a.thread < b.thread;
+                   });
   return out;
 }
 

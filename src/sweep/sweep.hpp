@@ -3,18 +3,27 @@
 //
 // A sweep is a grid of SweepPoints (e.g. Figure 1's degree × size grid);
 // each point names a graph factory and one or more measured series (process
-// + cover target). run_sweep schedules (point, trial) unit tasks and drains
-// them on the persistent ThreadPool, so parallelism spans the whole grid —
-// not just the trials of one point — and per-trial graph construction
-// happens inside pool tasks instead of serially on the caller.
+// + cover target). run_sweep submits one task per point to the work-stealing
+// Executor — largest expected cost first, so the big-n point starts first
+// instead of last — and each point task fans its (point, trial) units out as
+// nested TaskScope subtasks (and a multi-series unit fans its series out one
+// level deeper). Parallelism therefore spans the whole grid AND the trials
+// inside one point: the straggler point no longer bounds sweep wall-clock
+// 1:1. Each unit records which scheduler thread ran it and when, and
+// run_sweep aggregates those spans into a per-thread throughput-over-time
+// timeline (SWEEP schema v3), following pop_setbench's measurement
+// discipline.
 //
 // Trial counts are either fixed (SweepConfig::max_trials == 0: every series
 // runs exactly `trials` trials, the historical behaviour) or adaptive
 // (max_trials > 0: every series runs at least `trials` trials — the floor —
 // and keeps accruing trials in barrier-synchronised rounds until its 95% CI
 // half-width falls to ci_rel_target of its mean or the max_trials cap is
-// hit). Adaptive stopping decisions are made only at round barriers, from
-// completed samples only, so they are a pure function of the sample values.
+// hit). Adaptive stopping decisions are made only at per-point round
+// barriers (a nested scope wait), from completed samples only, so they are
+// a pure function of the sample values — and since each point's round
+// sequence never depended on other points, the per-point barriers produce
+// exactly the trial schedule the old global barrier did.
 //
 // Determinism: every rng used by a unit is derived by sweep_stream() as a
 // pure function of (master_seed, point index, trial index, role), never of
@@ -101,8 +110,19 @@ struct SweepPointResult {
   double gen_seconds = 0.0;              ///< graph construction wall time, summed over trials
 };
 
+/// Activity of one scheduler thread over the sweep's wall clock, bucketed
+/// into fixed-width intervals: how long the thread spent doing sweep work
+/// (generation + walking) in each bucket, and how many series measurements
+/// it completed there. Threads that never touched the sweep are omitted.
+struct SweepThreadTimeline {
+  std::uint32_t thread = 0;          ///< Executor::timing_slot of the thread
+  std::vector<double> busy_seconds;  ///< busy time per bucket
+  std::vector<std::uint64_t> units;  ///< series completions per bucket
+};
+
 /// The complete sweep, including the generation-vs-walk wall-clock split
-/// (the number that tells whether graph construction dominates a sweep).
+/// (the number that tells whether graph construction dominates a sweep)
+/// and the per-thread timeline the v3 report serialises.
 struct SweepResult {
   std::string name;                    ///< sweep name (file stem of SWEEP_<name>.json)
   std::uint64_t master_seed = 0;       ///< seed the streams were derived from
@@ -114,6 +134,12 @@ struct SweepResult {
   double gen_seconds = 0.0;            ///< total graph-generation wall time (CPU-side, summed over tasks)
   double walk_seconds = 0.0;           ///< total walking wall time (summed over tasks)
   double wall_seconds = 0.0;           ///< elapsed wall time of the whole sweep
+  bool pinned = false;                 ///< worker affinity pinning was active
+  std::uint32_t unit_count = 0;        ///< (point, trial) units executed
+  double unit_seconds_min = 0.0;       ///< fastest unit's wall-clock span
+  double unit_seconds_max = 0.0;       ///< slowest unit's wall-clock span
+  double timeline_bucket_seconds = 0.0;///< width of one timeline bucket
+  std::vector<SweepThreadTimeline> thread_timeline; ///< per-thread activity, thread order
   std::vector<SweepPointResult> points;///< one entry per SweepPoint, point order
 };
 
@@ -125,13 +151,16 @@ struct SweepResult {
 Rng sweep_stream(std::uint64_t master_seed, std::uint64_t point,
                  std::uint64_t trial, std::uint64_t role);
 
-/// Runs the sweep: (point, trial) unit tasks on the persistent ThreadPool
-/// (the calling thread participates; threads <= 1 runs inline). Trials that
-/// fail to reach their target within the step budget contribute the budget
-/// as their sample and are counted in uncovered_trials. With
-/// SweepConfig::max_trials > 0 trials are scheduled in adaptive rounds —
-/// closed series stop consuming trials while the rest of their point keeps
-/// going — otherwise every series runs exactly SweepConfig::trials trials.
+/// Runs the sweep on the work-stealing Executor: one task per point,
+/// submitted largest-expected-cost-first, each fanning its trials (and a
+/// multi-series unit its series) out as nested subtasks; the calling
+/// thread participates, and threads <= 1 runs everything inline. Trials
+/// that fail to reach their target within the step budget contribute the
+/// budget as their sample and are counted in uncovered_trials. With
+/// SweepConfig::max_trials > 0 trials are scheduled in adaptive per-point
+/// rounds — closed series stop consuming trials while the rest of their
+/// point keeps going — otherwise every series runs exactly
+/// SweepConfig::trials trials.
 SweepResult run_sweep(const std::string& name,
                       const std::vector<SweepPoint>& points,
                       const SweepConfig& config);

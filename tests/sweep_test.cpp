@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -22,6 +23,15 @@
 
 namespace ewalk {
 namespace {
+
+// Give the Executor four workers even on single-core CI runners, so the
+// thread-invariance tests below exercise real stealing and nested waits.
+// Runs before main(), i.e. before the first Executor::instance() call in
+// this binary; an explicit EWALK_WORKERS in the environment wins.
+const bool kWorkersEnvSet = [] {
+  setenv("EWALK_WORKERS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 ProcessFactory eprocess_factory() {
   return [](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
@@ -255,6 +265,52 @@ TEST(SweepAdaptive, SamplesInvariantAcrossThreadCountsAndPrefixFixedRun) {
   }
 }
 
+TEST(SweepScheduler, RepeatedStealingRunsAreBitIdentical) {
+  // Work stealing makes the schedule nondeterministic run to run; the
+  // samples must not be. Two identical parallel runs (4 threads on the
+  // 4-worker executor, nested trial/series fan-out active) must agree with
+  // each other and with a serial run, sample for sample.
+  SweepConfig config;
+  config.trials = 4;
+  config.master_seed = 1234;
+  config.threads = 4;
+  const auto first = all_samples(run_sweep("t", small_points(), config));
+  const auto second = all_samples(run_sweep("t", small_points(), config));
+  config.threads = 1;
+  const auto serial = all_samples(run_sweep("t", small_points(), config));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, serial);
+}
+
+TEST(SweepScheduler, RecordsUnitSpreadAndThreadTimeline) {
+  SweepConfig config;
+  config.trials = 4;
+  config.master_seed = 7;
+  config.threads = 4;
+  const SweepResult result = run_sweep("t", small_points(), config);
+
+  // 2 points x 4 trials, each measuring 2 series.
+  EXPECT_EQ(result.unit_count, 8u);
+  EXPECT_GE(result.unit_seconds_min, 0.0);
+  EXPECT_GE(result.unit_seconds_max, result.unit_seconds_min);
+  EXPECT_GT(result.timeline_bucket_seconds, 0.0);
+
+  ASSERT_FALSE(result.thread_timeline.empty());
+  std::uint64_t total_units = 0;
+  for (std::size_t i = 0; i < result.thread_timeline.size(); ++i) {
+    const SweepThreadTimeline& timeline = result.thread_timeline[i];
+    ASSERT_EQ(timeline.busy_seconds.size(), timeline.units.size());
+    ASSERT_EQ(timeline.busy_seconds.size(),
+              result.thread_timeline.front().busy_seconds.size());
+    if (i > 0)
+      EXPECT_GT(timeline.thread, result.thread_timeline[i - 1].thread);
+    for (const double busy : timeline.busy_seconds) EXPECT_GE(busy, 0.0);
+    for (const std::uint64_t units : timeline.units) total_units += units;
+  }
+  // Every series completion lands in exactly one bucket of one thread.
+  EXPECT_EQ(total_units, 16u);  // 8 units x 2 series
+}
+
 TEST(SweepReport, WritesSchemaConformantJsonAndCsv) {
   SweepConfig config;
   config.trials = 2;
@@ -273,12 +329,15 @@ TEST(SweepReport, WritesSchemaConformantJsonAndCsv) {
   buf << json.rdbuf();
   const std::string body = buf.str();
   for (const char* needle :
-       {"\"sweep\": \"unit_test\"", "\"version\": 2", "\"trials\": 2",
+       {"\"sweep\": \"unit_test\"", "\"version\": 3", "\"trials\": 2",
         "\"max_trials\": 0", "\"ci_rel_target\": 0", "\"points\": [",
         "\"params\": {\"n\": 60}", "\"name\": \"srw\"",
         "\"name\": \"eprocess\"", "\"samples\": [", "\"gen_seconds\":",
         "\"walk_seconds\":", "\"uncovered_trials\": 0",
-        "\"trials_used\": 2", "\"ci_rel_width\":"}) {
+        "\"trials_used\": 2", "\"ci_rel_width\":", "\"pin\": false",
+        "\"unit_count\": 4", "\"unit_seconds_min\":",
+        "\"unit_seconds_max\":", "\"timeline_bucket_seconds\":",
+        "\"thread_timeline\": [", "\"busy_seconds\": [", "\"units\": ["}) {
     EXPECT_NE(body.find(needle), std::string::npos) << "missing: " << needle;
   }
 

@@ -21,9 +21,10 @@
 //   ewalk --generator regular-pairing --r 4 --process eprocess --sweep \
 //         25000,50000,100000 --trials 5 --threads 0
 //
-// Trials run through the experiment harness's run_trials on the persistent
-// thread pool: trial t's RNG stream is a pure function of (--seed, t), so
-// --threads changes wall time only, never the reported samples.
+// Trials run through the experiment harness's run_trials on the
+// work-stealing Executor: trial t's RNG stream is a pure function of
+// (--seed, t), so --threads (and --pin) change wall time only, never the
+// reported samples.
 //
 // Graph families and walk processes are dispatched through the engine
 // registries (src/engine/registry.hpp); `ewalk --help` lists every
@@ -57,6 +58,7 @@
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -69,16 +71,19 @@ void print_help() {
   std::printf(
       "ewalk — run any registered walk process on any graph family\n\n"
       "usage: ewalk --graph <family> [graph params] --process <name> [walk params]\n"
-      "             [--trials N] [--threads T] [--seed S]\n"
+      "             [--trials N] [--threads T] [--pin] [--seed S]\n"
       "             [--target vertices|edges|coalescence]\n"
       "             [--max-steps B] [--csv out.csv] [--profile]\n"
       "             [--sweep n1,n2,...] [--max-trials M] [--ci-width W]\n"
       "       (--walk is a synonym for --process, --generator for --graph;\n"
-      "        --threads 0 = all cores; --sweep sweeps --n over the listed\n"
-      "        sizes via the sweep driver and writes bench_out/SWEEP_cli.json;\n"
-      "        --max-trials M > 0 makes trial counts adaptive: each series\n"
-      "        runs --trials to M trials until its 95%% CI half-width is\n"
-      "        within --ci-width (default 0.05) of its mean)\n\n");
+      "        --threads 0 = all hardware threads, values above hardware are\n"
+      "        clamped with a warning; --pin pins scheduler workers to CPUs\n"
+      "        (Linux only, rejected elsewhere); --sweep sweeps --n over the\n"
+      "        listed sizes via the sweep driver and writes\n"
+      "        bench_out/SWEEP_cli.json; --max-trials M > 0 makes trial\n"
+      "        counts adaptive: each series runs --trials to M trials until\n"
+      "        its 95%% CI half-width is within --ci-width (default 0.05) of\n"
+      "        its mean)\n\n");
   std::printf("graph families (--graph):\n");
   for (const auto& e : GeneratorRegistry::instance().entries())
     std::printf("  %-12s %-22s %s\n", e.name.c_str(), e.params_help.c_str(),
@@ -95,6 +100,36 @@ void print_help() {
       "first-meeting steps). When --max-steps is absent the engine's\n"
       "default_step_budget(g) heuristic bounds each trial\n"
       "(see src/engine/budget.hpp).\n");
+}
+
+// --threads / --pin handling shared by the sweep and trial paths: 0 means
+// all hardware threads, above-hardware requests clamp with a warning
+// instead of silently oversubscribing, and --pin errors out where thread
+// affinity is unsupported (best-effort failures only warn).
+std::uint32_t resolve_cli_threads(const Cli& cli) {
+  const std::int64_t requested = cli.get_int("threads", 1);
+  if (requested < 0)
+    throw std::invalid_argument(
+        "--threads must be >= 0 (0 = all hardware threads)");
+  bool clamped = false;
+  const std::uint32_t threads =
+      resolve_thread_count(static_cast<std::uint64_t>(requested), &clamped);
+  if (clamped)
+    std::fprintf(stderr,
+                 "warning: --threads %lld exceeds the %u hardware threads; "
+                 "clamped to %u\n",
+                 static_cast<long long>(requested),
+                 Executor::hardware_threads(), threads);
+  if (cli.get_bool("pin", false)) {
+    if (!Executor::pin_supported())
+      throw std::invalid_argument(
+          "--pin: thread-affinity pinning is not supported on this platform");
+    if (!Executor::instance().set_pinning(true))
+      std::fprintf(stderr,
+                   "warning: --pin: could not apply affinity to every worker "
+                   "(restricted cpuset?)\n");
+  }
+  return threads;
 }
 
 // Sweep mode: --sweep n1,n2,... sweeps the family's --n parameter through
@@ -148,7 +183,7 @@ int run_cli_sweep(const Cli& cli, const std::string& family,
 
   SweepConfig config;
   config.trials = trials;
-  config.threads = static_cast<std::uint32_t>(cli.get_int("threads", 1));
+  config.threads = resolve_cli_threads(cli);
   config.master_seed = cli.get_u64("seed", 1);
   config.max_trials = static_cast<std::uint32_t>(cli.get_u64("max-trials", 0));
   config.ci_rel_target = cli.get_double("ci-width", config.ci_rel_target);
@@ -220,8 +255,7 @@ int main(int argc, char** argv) {
     const bool edges = target == "edges";
     const bool coalescence = target == "coalescence";
 
-    const std::uint32_t threads =
-        static_cast<std::uint32_t>(cli.get_int("threads", 1));
+    const std::uint32_t threads = resolve_cli_threads(cli);
     const std::uint64_t budget = cli.get_u64("max-steps", default_step_budget(g));
     std::vector<double> steps(trials, 0.0), meetings(trials, 0.0);
     std::atomic<std::uint32_t> unfinished{0};

@@ -8,11 +8,14 @@ dispatched on the top-level tag:
 
   * BENCH_throughput.json  ({"bench": "throughput", "version": 1, ...})
     written by bench/throughput.cpp;
-  * SWEEP_<name>.json      ({"sweep": <name>, "version": 1 or 2, ...})
+  * SWEEP_<name>.json      ({"sweep": <name>, "version": 1, 2 or 3, ...})
     written by src/sweep/report.cpp for every sweep bench. Version 2 adds
     the adaptive-trials fields (top-level "max_trials"/"ci_rel_target",
-    per-series "trials_used"/"ci_rel_width"); version 1 files from older
-    artifacts are still accepted.
+    per-series "trials_used"/"ci_rel_width"); version 3 adds the scheduler
+    observability fields (top-level "pin", "unit_count",
+    "unit_seconds_min"/"unit_seconds_max", "timeline_bucket_seconds", and
+    the per-thread "thread_timeline" throughput-over-time series). Older
+    version 1/2 files from existing artifacts are still accepted.
 
 Usage: validate_bench_json.py FILE [FILE...]
 Exits non-zero (with a per-file message) on the first violation.
@@ -43,15 +46,45 @@ def validate_throughput(path, d):
 
 def validate_sweep(path, d):
     version = d.get("version")
-    if version not in (1, 2):
+    if version not in (1, 2, 3):
         fail(path, f"unexpected version {version}")
     required = ["sweep", "seed", "trials", "threads", "reuse_graph",
                 "gen_seconds", "walk_seconds", "wall_seconds", "points"]
     if version >= 2:
         required += ["max_trials", "ci_rel_target"]
+    if version >= 3:
+        required += ["pin", "unit_count", "unit_seconds_min",
+                     "unit_seconds_max", "timeline_bucket_seconds",
+                     "thread_timeline"]
     for key in required:
         if key not in d:
             fail(path, f"missing top-level {key}")
+    if version >= 3:
+        if not isinstance(d["pin"], bool):
+            fail(path, f"pin is not a bool: {d['pin']!r}")
+        if not (0 <= d["unit_seconds_min"] <= d["unit_seconds_max"]):
+            fail(path, "unit_seconds_min/max out of order or negative")
+        if d["timeline_bucket_seconds"] <= 0:
+            fail(path, f"bad timeline_bucket_seconds: "
+                       f"{d['timeline_bucket_seconds']!r}")
+        timeline = d["thread_timeline"]
+        if not isinstance(timeline, list) or not timeline:
+            fail(path, "thread_timeline missing or empty")
+        buckets = None
+        for entry in timeline:
+            for key in ("thread", "busy_seconds", "units"):
+                if key not in entry:
+                    fail(path, f"thread_timeline entry missing {key}")
+            if len(entry["busy_seconds"]) != len(entry["units"]):
+                fail(path, f"thread {entry['thread']}: busy_seconds and "
+                           "units lengths differ")
+            if buckets is None:
+                buckets = len(entry["busy_seconds"])
+            elif len(entry["busy_seconds"]) != buckets:
+                fail(path, f"thread {entry['thread']}: inconsistent bucket "
+                           "count across threads")
+            if any(b < 0 for b in entry["busy_seconds"]):
+                fail(path, f"thread {entry['thread']}: negative busy_seconds")
     trials = d["trials"]
     if not (isinstance(trials, int) and trials > 0):
         fail(path, f"bad trials: {trials!r}")
