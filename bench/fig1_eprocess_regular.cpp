@@ -151,6 +151,7 @@ int main(int argc, char** argv) try {
   sc.master_seed = cfg.seed;
   sc.max_trials = static_cast<std::uint32_t>(cli.get_u64("max-trials", 0));
   sc.ci_rel_target = cli.get_double("ci-width", sc.ci_rel_target);
+  sc.bundle_width = static_cast<std::uint32_t>(cli.get_u64("bundle", 1));
   const SweepResult result = run_sweep("fig1_eprocess_regular", points, sc);
 
   std::printf("generator: %s\n", generator.c_str());

@@ -2,14 +2,73 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
 #include "engine/adapters.hpp"
 #include "engine/budget.hpp"
+#include "engine/bundle.hpp"
 #include "engine/driver.hpp"
 #include "util/thread_pool.hpp"
 #include "walks/srw.hpp"
 
 namespace ewalk {
+
+namespace {
+
+// One bundle of `width` consecutive trials, run as a single scheduler task:
+// per trial (ascending order) the graph and process are built from the
+// trial's own stream — the same single-stream graph->process->walk order
+// the sequential path uses — then all trials advance round-robin through
+// run_trial_bundle with the sequential stride-1 check schedule. Samples are
+// therefore bit-identical to the width-1 path for every bundle width.
+void run_cover_bundle(const ProcessFactory& processes,
+                      const GraphFactory& graphs,
+                      const CoverExperimentConfig& config,
+                      std::span<Rng> streams, std::uint32_t lo,
+                      std::uint32_t hi, std::vector<double>& samples,
+                      std::atomic<std::uint32_t>& uncovered) {
+  const std::uint32_t width = hi - lo;
+  std::vector<Graph> bundle_graphs;
+  bundle_graphs.reserve(width);  // walks hold Graph*: no reallocation allowed
+  std::vector<std::unique_ptr<WalkProcess>> walks;
+  walks.reserve(width);
+  std::vector<std::uint64_t> budgets(width, 0);
+  std::vector<BundleTrial> bundle(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    Rng& rng = streams[lo + i];
+    bundle_graphs.push_back(graphs(rng));
+    const Graph& g = bundle_graphs.back();
+    walks.push_back(processes(g, rng));
+    budgets[i] = config.max_steps != 0 ? config.max_steps
+                                       : default_step_budget(g);
+    bundle[i] = BundleTrial{walks.back().get(), &rng, budgets[i], 1};
+  }
+  std::vector<std::uint8_t> finished;
+  if (config.target == CoverTarget::kVertices) {
+    finished = run_trial_bundle(
+        std::span<const BundleTrial>(bundle), [](const WalkProcess& p) {
+          return p.cover().all_vertices_covered();
+        });
+  } else {
+    finished = run_trial_bundle(
+        std::span<const BundleTrial>(bundle), [](const WalkProcess& p) {
+          return p.cover().all_edges_covered();
+        });
+  }
+  for (std::uint32_t i = 0; i < width; ++i) {
+    if (finished[i]) {
+      samples[lo + i] = static_cast<double>(
+          config.target == CoverTarget::kVertices
+              ? walks[i]->cover().vertex_cover_step()
+              : walks[i]->cover().edge_cover_step());
+    } else {
+      uncovered.fetch_add(1, std::memory_order_relaxed);
+      samples[lo + i] = static_cast<double>(budgets[i]);
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<double> run_trials(std::uint32_t count, std::uint32_t threads,
                                std::uint64_t master_seed,
@@ -45,6 +104,41 @@ SummaryStats run_trials_summary(std::uint32_t count, std::uint32_t threads,
 CoverExperimentResult measure_cover(const ProcessFactory& processes,
                                     const GraphFactory& graphs,
                                     const CoverExperimentConfig& config) {
+  if (config.bundle_width > 1 && config.trials > 1) {
+    // Bundled path: one scheduler task per bundle of `bundle_width`
+    // consecutive trials, each advanced round-robin in one interleaved
+    // loop (engine/bundle.hpp). Trial streams, construction order, and the
+    // per-trial check schedule are identical to the width-1 path, so the
+    // samples are too.
+    std::atomic<std::uint32_t> uncovered{0};
+    std::vector<Rng> streams = derive_streams(config.master_seed, config.trials);
+    std::vector<double> samples(config.trials, 0.0);
+    const std::uint32_t width = std::min(config.bundle_width, config.trials);
+    const std::uint32_t bundles = (config.trials + width - 1) / width;
+    std::uint32_t workers =
+        config.threads == 0 ? Executor::hardware_threads() : config.threads;
+    workers = std::min(workers, bundles);
+    const auto run_one = [&](std::uint32_t b) {
+      const std::uint32_t lo = b * width;
+      const std::uint32_t hi = std::min(lo + width, config.trials);
+      run_cover_bundle(processes, graphs, config, streams, lo, hi, samples,
+                       uncovered);
+    };
+    if (workers <= 1) {
+      for (std::uint32_t b = 0; b < bundles; ++b) run_one(b);
+    } else {
+      TaskScope scope(workers);
+      for (std::uint32_t b = 0; b < bundles; ++b)
+        scope.spawn([&run_one, b] { run_one(b); });
+      scope.wait();
+    }
+    CoverExperimentResult out;
+    out.samples = std::move(samples);
+    out.stats = summarize(out.samples);
+    out.uncovered_trials = uncovered.load();
+    return out;
+  }
+
   std::atomic<std::uint32_t> uncovered{0};
   auto samples = run_trials(
       config.trials, config.threads, config.master_seed,

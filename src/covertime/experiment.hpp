@@ -69,6 +69,13 @@ struct CoverExperimentConfig {
   std::uint64_t master_seed = 1;
   std::uint64_t max_steps = 0;   ///< 0 = default_step_budget(g) (engine/budget.hpp)
   CoverTarget target = CoverTarget::kVertices;
+  /// Trials interleaved per scheduler task (engine/bundle.hpp): <= 1 runs
+  /// each trial as its own task (the historical path); W > 1 packs W
+  /// consecutive trials into one round-robin bundle that hides DRAM latency
+  /// on large graphs. Samples are bit-identical for every width — each
+  /// trial keeps its own (master_seed, trial) stream and its sequential
+  /// check schedule.
+  std::uint32_t bundle_width = 1;
 };
 
 /// Cover-time samples over `trials` fresh (graph, process) pairs. Trials

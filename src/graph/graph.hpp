@@ -110,6 +110,23 @@ class Graph {
     return static_cast<double>(degree(v)) / (2.0 * static_cast<double>(num_edges()));
   }
 
+  /// Hints the hardware to pull v's adjacency into cache: the offsets_ entry
+  /// and the head of the slot row. The slot-row address depends on the
+  /// offsets_ load, so that prefetch issues once the (usually cheap) offset
+  /// read resolves — out-of-order cores overlap both with unrelated work.
+  /// This is what makes interleaved trial bundles (engine/bundle.hpp) hide
+  /// DRAM latency on graphs that no longer fit in LLC: the bundle prefetches
+  /// the NEXT position of each walk while stepping the others. No-op effect
+  /// on correctness; never faults (prefetch of any address is safe).
+  void prefetch_hint(Vertex v) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(offsets_.data() + v);
+    __builtin_prefetch(slots_.data() + offsets_[v]);
+#else
+    (void)v;
+#endif
+  }
+
  private:
   Vertex n_ = 0;
   std::vector<std::uint32_t> offsets_;  // size n_+1

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <optional>
+#include <span>
 
 #include "engine/budget.hpp"
+#include "engine/bundle.hpp"
 #include "engine/driver.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -40,6 +43,11 @@ struct UnitRecord {
   double gen_t_end = 0.0;
   double t_start = 0.0;  // whole-unit span, for the straggler report
   double t_end = 0.0;
+  // True on the record that carries a scheduler unit's wall-clock span.
+  // Width-1 units are their own lead; in a bundled unit only the first
+  // trial's record is (the bundle is ONE unit), so the straggler report
+  // counts bundles, not trials.
+  bool unit_lead = true;
   std::vector<SeriesCell> cells;
 };
 
@@ -196,6 +204,111 @@ SweepResult run_sweep(const std::string& name,
     rec.t_end = sweep_timer.seconds();
   };
 
+  // One bundle of consecutive trials of one point, run as ONE scheduler
+  // unit: per trial (ascending order) the shared graph is built from its
+  // role-0 stream exactly as run_unit does, then each open series builds
+  // every bundled trial's process from its own role streams and advances
+  // all of them round-robin through run_trial_bundle (engine/bundle.hpp).
+  // Streams and the per-trial stride-1 check schedule are identical to the
+  // width-1 path, so samples are bit-identical for every bundle width; only
+  // the wall-clock bookkeeping differs (the bundle is one unit — its first
+  // trial's record carries the unit span and the series busy span, so the
+  // straggler report counts bundles and the timeline never multi-counts the
+  // interleaved run).
+  const auto run_bundle_unit = [&](std::size_t p, std::uint32_t lo,
+                                   std::uint32_t hi,
+                                   const std::vector<std::uint8_t>& mask) {
+    const SweepPoint& point = points[p];
+    const std::uint32_t width = hi - lo;
+    const double bundle_start = sweep_timer.seconds();
+    std::vector<Graph> shared;
+    if (config.reuse_graph) shared.reserve(width);
+    for (std::uint32_t t = lo; t < hi; ++t) {
+      UnitRecord& rec = records[p][t];
+      rec.cells.resize(point.series.size());
+      rec.t_start = bundle_start;
+      rec.unit_lead = t == lo;
+      if (config.reuse_graph) {
+        Rng graph_rng = sweep_stream(config.master_seed, p, t, 0);
+        rec.gen_thread = Executor::timing_slot();
+        rec.gen_t_start = sweep_timer.seconds();
+        WallTimer gen_timer;
+        shared.push_back(point.graph(graph_rng));
+        rec.gen_seconds = gen_timer.seconds();
+        rec.gen_t_end = sweep_timer.seconds();
+      }
+    }
+    for (std::size_t s = 0; s < point.series.size(); ++s) {
+      if (!mask[s]) continue;
+      const SweepSeriesSpec& spec = point.series[s];
+      const double series_start = sweep_timer.seconds();
+      // Processes hold Graph* and BundleTrial holds Rng*: reserve so the
+      // backing storage never reallocates under them.
+      std::vector<Graph> privates;
+      std::vector<Rng> walk_rngs;
+      std::vector<std::unique_ptr<WalkProcess>> walks;
+      if (!config.reuse_graph) privates.reserve(width);
+      walk_rngs.reserve(width);
+      walks.reserve(width);
+      std::vector<std::uint64_t> budgets(width, 0);
+      std::vector<BundleTrial> bundle(width);
+      for (std::uint32_t i = 0; i < width; ++i) {
+        const std::uint32_t t = lo + i;
+        SeriesCell& cell = records[p][t].cells[s];
+        cell.thread = Executor::timing_slot();
+        const Graph* g;
+        if (config.reuse_graph) {
+          g = &shared[i];
+        } else {
+          Rng graph_rng = sweep_stream(config.master_seed, p, t, 2 * s + 2);
+          WallTimer gen_timer;
+          privates.push_back(point.graph(graph_rng));
+          cell.gen_seconds = gen_timer.seconds();
+          g = &privates.back();
+        }
+        walk_rngs.push_back(sweep_stream(config.master_seed, p, t, 2 * s + 1));
+        walks.push_back(spec.process(*g, walk_rngs.back()));
+        budgets[i] =
+            point.max_steps != 0 ? point.max_steps : default_step_budget(*g);
+        bundle[i] =
+            BundleTrial{walks.back().get(), &walk_rngs.back(), budgets[i], 1};
+      }
+      WallTimer walk_timer;
+      std::vector<std::uint8_t> finished;
+      if (spec.target == CoverTarget::kVertices) {
+        finished = run_trial_bundle(
+            std::span<const BundleTrial>(bundle), [](const WalkProcess& w) {
+              return w.cover().all_vertices_covered();
+            });
+      } else {
+        finished = run_trial_bundle(
+            std::span<const BundleTrial>(bundle), [](const WalkProcess& w) {
+              return w.cover().all_edges_covered();
+            });
+      }
+      const double walk_secs = walk_timer.seconds();
+      const double series_end = sweep_timer.seconds();
+      for (std::uint32_t i = 0; i < width; ++i) {
+        SeriesCell& cell = records[p][lo + i].cells[s];
+        cell.ran = true;
+        cell.covered = finished[i] != 0;
+        const std::uint64_t result_step =
+            spec.target == CoverTarget::kVertices
+                ? walks[i]->cover().vertex_cover_step()
+                : walks[i]->cover().edge_cover_step();
+        cell.value = static_cast<double>(cell.covered ? result_step : budgets[i]);
+        // One interleaved run = one busy span: the lead cell carries it;
+        // non-lead cells are zero-span points at the bundle's end, so each
+        // still counts one series completion in the timeline.
+        cell.walk_seconds = i == 0 ? walk_secs : 0.0;
+        cell.t_start = i == 0 ? series_start : series_end;
+        cell.t_end = series_end;
+      }
+    }
+    const double bundle_end = sweep_timer.seconds();
+    for (std::uint32_t t = lo; t < hi; ++t) records[p][t].t_end = bundle_end;
+  };
+
   // One task per point: the point runs its own adaptive round loop, with
   // the old global round barrier replaced by a nested scope wait. A
   // point's batch sizes and open-series masks were always pure functions
@@ -220,16 +333,37 @@ SweepResult run_sweep(const std::string& name,
           done_p == 0 ? floor_trials : std::max(1u, done_p / 2),
           cap - done_p);
       records[p].resize(done_p + batch);
-      if (parallel) {
-        TaskScope round_scope;
-        for (std::uint32_t t = done_p; t < done_p + batch; ++t)
-          round_scope.spawn([&run_unit, p, t, mask = open] {
-            run_unit(p, t, mask);
-          });
-        round_scope.wait();
+      const std::uint32_t width = std::max(1u, config.bundle_width);
+      if (width <= 1) {
+        if (parallel) {
+          TaskScope round_scope;
+          for (std::uint32_t t = done_p; t < done_p + batch; ++t)
+            round_scope.spawn([&run_unit, p, t, mask = open] {
+              run_unit(p, t, mask);
+            });
+          round_scope.wait();
+        } else {
+          for (std::uint32_t t = done_p; t < done_p + batch; ++t)
+            run_unit(p, t, open);
+        }
       } else {
-        for (std::uint32_t t = done_p; t < done_p + batch; ++t)
-          run_unit(p, t, open);
+        // Bundled rounds: the round's trials are packed into bundles of
+        // `width` consecutive trials (ascending; the last may be short).
+        // Each bundle is one scheduler unit. Round barriers are unchanged,
+        // so the adaptive schedule stays a pure function of the samples.
+        if (parallel) {
+          TaskScope round_scope;
+          for (std::uint32_t lo = done_p; lo < done_p + batch; lo += width) {
+            const std::uint32_t hi = std::min(lo + width, done_p + batch);
+            round_scope.spawn([&run_bundle_unit, p, lo, hi, mask = open] {
+              run_bundle_unit(p, lo, hi, mask);
+            });
+          }
+          round_scope.wait();
+        } else {
+          for (std::uint32_t lo = done_p; lo < done_p + batch; lo += width)
+            run_bundle_unit(p, lo, std::min(lo + width, done_p + batch), open);
+        }
       }
       done_p += batch;
 
@@ -309,11 +443,14 @@ SweepResult run_sweep(const std::string& name,
 
   // Unit spread: the straggler report. A slowest unit far below the wall
   // clock means trial-level parallelism kept the sweep from being bounded
-  // by its biggest (point, trial) unit.
+  // by its biggest unit. Only lead records carry a unit span: width-1 units
+  // are their own lead, a bundle's lead is its first trial — so bundled
+  // sweeps count bundles here, matching what the scheduler actually ran.
   double unit_min = 0.0, unit_max = 0.0;
   std::uint32_t unit_count = 0;
   for (const auto& point_records : records) {
     for (const UnitRecord& rec : point_records) {
+      if (!rec.unit_lead) continue;
       const double span = rec.t_end - rec.t_start;
       if (unit_count == 0 || span < unit_min) unit_min = span;
       if (span > unit_max) unit_max = span;

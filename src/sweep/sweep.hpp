@@ -89,6 +89,16 @@ struct SweepConfig {
   /// is <= this fraction of |mean| (and the floor is met). Only consulted
   /// when max_trials > 0.
   double ci_rel_target = 0.05;
+  /// Trials interleaved per scheduler unit (engine/bundle.hpp): <= 1 keeps
+  /// the historical one-(point, trial)-unit schedule; W > 1 packs each
+  /// adaptive round's trials into bundles of W consecutive trials advanced
+  /// round-robin in one loop, hiding DRAM latency on paper-range graphs.
+  /// The internal trial order is fixed (ascending) and every trial keeps
+  /// its own sweep_stream rngs and its sequential check schedule, so all
+  /// samples are bit-identical across bundle widths AND thread counts;
+  /// only wall-clock bookkeeping (unit spread, timeline) reflects the
+  /// bundling.
+  std::uint32_t bundle_width = 1;
 };
 
 /// Aggregate of one series at one point.

@@ -245,19 +245,6 @@ void Executor::drain_scope(TaskScope& scope) {
   }
 }
 
-void Executor::parallel_for(std::uint32_t count, std::uint32_t parallelism,
-                            const std::function<void(std::uint32_t)>& task) {
-  if (count == 0) return;
-  if (parallelism <= 1 || count == 1 || workers_.empty()) {
-    for (std::uint32_t i = 0; i < count; ++i) task(i);
-    return;
-  }
-  TaskScope scope(parallelism, *this);
-  for (std::uint32_t i = 0; i < count; ++i)
-    scope.spawn([&task, i] { task(i); });
-  scope.wait();
-}
-
 TaskScope::TaskScope(std::uint32_t max_parallelism, Executor& executor)
     : executor_(executor),
       parent_(tl_scope_stack.empty() ? nullptr : tl_scope_stack.back()),

@@ -95,15 +95,6 @@ class Executor {
   /// randomness (see the determinism contract above).
   static std::uint32_t timing_slot() noexcept;
 
-  /// Legacy flat-range entry point, kept for one release as a thin
-  /// wrapper over TaskScope: runs task(0..count-1) with at most
-  /// `parallelism` threads, rethrows the first task exception after
-  /// in-flight tasks finish and skips unstarted ones. New code should
-  /// create a TaskScope and spawn() directly.
-  [[deprecated("use TaskScope spawn/wait")]] void parallel_for(
-      std::uint32_t count, std::uint32_t parallelism,
-      const std::function<void(std::uint32_t)>& task);
-
   /// Stops and joins the workers; runs at process exit (static instance).
   ~Executor();
 
@@ -201,8 +192,5 @@ class TaskScope {
 /// noise); anything else passes through.
 std::uint32_t resolve_thread_count(std::uint64_t requested,
                                    bool* clamped = nullptr);
-
-/// Transitional alias for the pre-Executor name; scheduled for removal.
-using ThreadPool [[deprecated("ThreadPool is now Executor")]] = Executor;
 
 }  // namespace ewalk

@@ -71,6 +71,20 @@ class BluePartition {
     return g.slot(v, order_[g.slot_offset(v) + p]);
   }
 
+  /// Hints the hardware to pull v's partition state into cache: the blue
+  /// count and the head of v's order_ region — the two lines a blue step at
+  /// v touches first. Companion to Graph::prefetch_hint for interleaved
+  /// trial bundles (engine/bundle.hpp); safe for any vertex, no side effects.
+  void prefetch_hint(const Graph& g, Vertex v) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(blue_count_.data() + v);
+    __builtin_prefetch(order_.data() + g.slot_offset(v));
+#else
+    (void)g;
+    (void)v;
+#endif
+  }
+
   /// Evicts e from the blue prefix of each endpoint with an O(1) swap. The
   /// edge occurs exactly once in each endpoint's slots — twice at the same
   /// vertex for a self-loop, which occupies two slots. Precondition: e is

@@ -172,6 +172,17 @@ class EProcess {
   /// Number of blue (unvisited) edges incident with v right now.
   std::uint32_t blue_degree(Vertex v) const { return blue_.blue_count(v); }
 
+  /// Hints the hardware to pull everything a step at v will touch into
+  /// cache: the CSR adjacency row (Graph::prefetch_hint) and the blue
+  /// partition state (BluePartition::prefetch_hint). Issued by interleaved
+  /// trial bundles (engine/bundle.hpp) for the walk's next position while
+  /// other bundled trials step, hiding the dependent-load DRAM latency that
+  /// dominates n >= 1e6 graphs. Pure hint: no state changes, never faults.
+  void prefetch_hint(Vertex v) const noexcept {
+    g_->prefetch_hint(v);
+    blue_.prefetch_hint(*g_, v);
+  }
+
   /// Phase log (empty unless options.record_phases). The currently open
   /// phase is included with its running end.
   const std::vector<Phase>& phases() const { return phases_; }

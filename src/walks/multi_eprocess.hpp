@@ -50,6 +50,14 @@ class MultiEProcess {
   const CoverState& cover() const { return cover_; }
   std::uint32_t blue_degree(Vertex v) const { return blue_.blue_count(v); }
 
+  /// Hints the hardware to pull everything the next system step will touch
+  /// into cache: the CSR row and blue-partition state of `v` (normally
+  /// current(), the walker about to move). See EProcess::prefetch_hint.
+  void prefetch_hint(Vertex v) const noexcept {
+    g_->prefetch_hint(v);
+    blue_.prefetch_hint(*g_, v);
+  }
+
  private:
   const Graph* g_;
   UnvisitedEdgeRule* rule_;

@@ -1,8 +1,7 @@
 // Tests for the work-stealing scheduler (util/thread_pool.hpp): TaskScope
 // fork-join semantics, nested spawn under stealing (the ASan/TSan stress
-// target of CI), the root-scope admission cap, exception propagation, the
-// deprecated parallel_for wrapper's legacy contract, timing slots, pinning,
-// and the --threads resolution helper.
+// target of CI), the root-scope admission cap, exception propagation,
+// timing slots, pinning, and the --threads resolution helper.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -138,26 +137,8 @@ TEST(TaskScope, ExceptionInNestedScopePropagatesThroughParent) {
   EXPECT_EQ(outer_done.load(), 0);
 }
 
-TEST(Executor, DeprecatedParallelForKeepsLegacyContract) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  std::vector<int> out(64, 0);
-  Executor::instance().parallel_for(64, 4, [&](std::uint32_t i) {
-    out[i] = static_cast<int>(i) * 3;
-  });
-  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * 3);
-
-  // parallelism <= 1 runs inline, in order.
-  std::vector<std::uint32_t> order;
-  Executor::instance().parallel_for(5, 1,
-                                    [&](std::uint32_t i) { order.push_back(i); });
-  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
-
-  EXPECT_THROW(Executor::instance().parallel_for(
-                   8, 4, [](std::uint32_t) { throw std::runtime_error("x"); }),
-               std::runtime_error);
-#pragma GCC diagnostic pop
-}
+// (The deprecated parallel_for wrapper and its legacy-contract test were
+// removed on schedule; TaskScope spawn/wait is the only submission path.)
 
 TEST(Executor, TimingSlotsAreStableAndBounded) {
   Executor& executor = Executor::instance();

@@ -265,6 +265,77 @@ TEST(SweepAdaptive, SamplesInvariantAcrossThreadCountsAndPrefixFixedRun) {
   }
 }
 
+TEST(SweepDriver, SamplesInvariantAcrossBundleWidths) {
+  // Bundling (engine/bundle.hpp) interleaves several trials of a unit in
+  // one task to hide DRAM latency; it must be pure scheduling. Every
+  // (width, threads, reuse) combination must reproduce the width-1 samples
+  // bit for bit — each trial keeps its own sweep_stream-derived streams and
+  // its sequential check schedule regardless of bundling.
+  SweepConfig config;
+  config.trials = 4;
+  config.master_seed = 99;
+  config.threads = 1;
+  config.bundle_width = 1;
+  const auto reference = all_samples(run_sweep("t", small_points(), config));
+  ASSERT_EQ(reference.size(), 4u);
+
+  for (const bool reuse : {true, false}) {
+    for (const std::uint32_t width : {2u, 4u, 8u}) {
+      for (const std::uint32_t threads : {1u, 4u}) {
+        SweepConfig bundled;
+        bundled.trials = 4;
+        bundled.master_seed = 99;
+        bundled.reuse_graph = reuse;
+        bundled.bundle_width = width;
+        bundled.threads = threads;
+        SweepConfig plain = bundled;
+        plain.bundle_width = 1;
+        EXPECT_EQ(all_samples(run_sweep("t", small_points(), bundled)),
+                  all_samples(run_sweep("t", small_points(), plain)))
+            << "width " << width << ", threads " << threads << ", reuse "
+            << reuse;
+      }
+    }
+  }
+  // reuse defaults on: the width-1 reuse samples are the reference above.
+  SweepConfig wide = config;
+  wide.bundle_width = 8;
+  wide.threads = 4;
+  EXPECT_EQ(all_samples(run_sweep("t", small_points(), wide)), reference);
+}
+
+TEST(SweepAdaptive, AdaptiveScheduleInvariantAcrossBundleWidths) {
+  // Adaptive trials decide the next round from completed samples only, so
+  // bundling a round's units cannot change which trials run or their
+  // values.
+  SweepConfig config;
+  config.trials = 3;
+  config.master_seed = 99;
+  config.threads = 4;
+  config.max_trials = 9;
+  config.ci_rel_target = 1e-9;  // forces extra rounds beyond the floor
+  config.bundle_width = 1;
+  const auto reference = all_samples(run_sweep("t", small_points(), config));
+  config.bundle_width = 4;
+  EXPECT_EQ(all_samples(run_sweep("t", small_points(), config)), reference);
+}
+
+TEST(SweepScheduler, BundledUnitsCountBundlesInSpreadAndTimeline) {
+  SweepConfig config;
+  config.trials = 4;
+  config.master_seed = 7;
+  config.threads = 4;
+  config.bundle_width = 4;
+  const SweepResult result = run_sweep("t", small_points(), config);
+  // 2 points x 1 bundle of 4 trials each.
+  EXPECT_EQ(result.unit_count, 2u);
+  std::uint64_t total_units = 0;
+  for (const SweepThreadTimeline& timeline : result.thread_timeline)
+    for (const std::uint64_t units : timeline.units) total_units += units;
+  // Series completions still land once per (trial, series) pair.
+  EXPECT_EQ(total_units, 16u);
+}
+
 TEST(SweepScheduler, RepeatedStealingRunsAreBitIdentical) {
   // Work stealing makes the schedule nondeterministic run to run; the
   // samples must not be. Two identical parallel runs (4 threads on the
@@ -302,8 +373,9 @@ TEST(SweepScheduler, RecordsUnitSpreadAndThreadTimeline) {
     ASSERT_EQ(timeline.busy_seconds.size(), timeline.units.size());
     ASSERT_EQ(timeline.busy_seconds.size(),
               result.thread_timeline.front().busy_seconds.size());
-    if (i > 0)
+    if (i > 0) {
       EXPECT_GT(timeline.thread, result.thread_timeline[i - 1].thread);
+    }
     for (const double busy : timeline.busy_seconds) EXPECT_GE(busy, 0.0);
     for (const std::uint64_t units : timeline.units) total_units += units;
   }

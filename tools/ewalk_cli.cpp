@@ -75,6 +75,7 @@ void print_help() {
       "             [--target vertices|edges|coalescence]\n"
       "             [--max-steps B] [--csv out.csv] [--profile]\n"
       "             [--sweep n1,n2,...] [--max-trials M] [--ci-width W]\n"
+      "             [--bundle W]\n"
       "       (--walk is a synonym for --process, --generator for --graph;\n"
       "        --threads 0 = all hardware threads, values above hardware are\n"
       "        clamped with a warning; --pin pins scheduler workers to CPUs\n"
@@ -83,7 +84,9 @@ void print_help() {
       "        bench_out/SWEEP_cli.json; --max-trials M > 0 makes trial\n"
       "        counts adaptive: each series runs --trials to M trials until\n"
       "        its 95%% CI half-width is within --ci-width (default 0.05) of\n"
-      "        its mean)\n\n");
+      "        its mean; --bundle W > 1 interleaves W trials per task to hide\n"
+      "        DRAM latency on big graphs — samples are bit-identical to\n"
+      "        --bundle 1)\n\n");
   std::printf("graph families (--graph):\n");
   for (const auto& e : GeneratorRegistry::instance().entries())
     std::printf("  %-12s %-22s %s\n", e.name.c_str(), e.params_help.c_str(),
@@ -187,6 +190,7 @@ int run_cli_sweep(const Cli& cli, const std::string& family,
   config.master_seed = cli.get_u64("seed", 1);
   config.max_trials = static_cast<std::uint32_t>(cli.get_u64("max-trials", 0));
   config.ci_rel_target = cli.get_double("ci-width", config.ci_rel_target);
+  config.bundle_width = static_cast<std::uint32_t>(cli.get_u64("bundle", 1));
   const SweepResult result = run_sweep("cli", points, config);
 
   if (config.max_trials > 0)

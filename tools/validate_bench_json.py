@@ -6,8 +6,11 @@ are too noisy for wall-clock assertions, but an empty or malformed JSON
 means the perf trajectory silently broke. Two formats are understood,
 dispatched on the top-level tag:
 
-  * BENCH_throughput.json  ({"bench": "throughput", "version": 1, ...})
-    written by bench/throughput.cpp;
+  * BENCH_throughput.json  ({"bench": "throughput", "version": 1 or 2, ...})
+    written by bench/throughput.cpp. Version 2 adds the per-result "bundle"
+    interleave width (the latency-bound tier sweeps it; matrix rows carry
+    bundle = 1) and requires at least two distinct widths so the
+    latency-hiding tier cannot silently drop out of the artifact;
   * SWEEP_<name>.json      ({"sweep": <name>, "version": 1, 2 or 3, ...})
     written by src/sweep/report.cpp for every sweep bench. Version 2 adds
     the adaptive-trials fields (top-level "max_trials"/"ci_rel_target",
@@ -29,19 +32,32 @@ def fail(path, message):
 
 
 def validate_throughput(path, d):
-    if d.get("version") != 1:
-        fail(path, f"unexpected version {d.get('version')}")
+    version = d.get("version")
+    if version not in (1, 2):
+        fail(path, f"unexpected version {version}")
     results = d.get("results", [])
     if len(results) < 12:
         fail(path, f"only {len(results)} (process, family) pairs, need >= 12")
+    keys = ["process", "graph", "n", "m", "steps", "seconds", "steps_per_sec"]
+    if version >= 2:
+        keys.append("bundle")
     for r in results:
-        for key in ("process", "graph", "n", "m", "steps", "seconds",
-                    "steps_per_sec"):
+        for key in keys:
             if key not in r:
                 fail(path, f"result missing {key}: {r}")
         if not (r["steps"] > 0 and r["steps_per_sec"] > 0):
             fail(path, f"non-positive steps or rate: {r}")
-    print(f"{path}: OK ({len(results)} (process, family) pairs)")
+        if version >= 2 and not (isinstance(r["bundle"], int)
+                                 and r["bundle"] >= 1):
+            fail(path, f"bad bundle width: {r}")
+    if version >= 2:
+        widths = sorted({r["bundle"] for r in results})
+        if len(widths) < 2:
+            fail(path, f"latency tier missing: only bundle widths {widths}, "
+                       "need a sweep over >= 2 widths")
+        print(f"{path}: OK ({len(results)} pairs, bundle widths {widths})")
+    else:
+        print(f"{path}: OK ({len(results)} (process, family) pairs)")
 
 
 def validate_sweep(path, d):
