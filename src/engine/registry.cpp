@@ -4,9 +4,11 @@
 #include <stdexcept>
 
 #include "engine/adapters.hpp"
+#include "engine/pcf_process.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/lps.hpp"
+#include "graph/pcf.hpp"
 #include "interact/coalescing.hpp"
 #include "interact/herman.hpp"
 #include "interact/token_system.hpp"
@@ -27,6 +29,22 @@ Vertex start_vertex(const Graph& g, const ParamMap& params) {
   if (start >= g.num_vertices())
     throw std::invalid_argument("--start out of range for this graph");
   return start;
+}
+
+// PCF time advanced per walk step: --dt, defaulting to 1/n so one unit of
+// graph time corresponds to n walk steps.
+double pcf_time_per_step(const Graph& g, const ParamMap& p) {
+  const double dflt =
+      g.num_vertices() > 0 ? 1.0 / static_cast<double>(g.num_vertices()) : 1.0;
+  const double dt = p.get_double("dt", dflt);
+  if (!(dt > 0.0)) throw std::invalid_argument("--dt must be > 0");
+  return dt;
+}
+
+double pcf_alpha(const ParamMap& p) {
+  const double alpha = p.get_double("alpha", 1.0);
+  if (!(alpha > 0.0)) throw std::invalid_argument("--alpha must be > 0");
+  return alpha;
 }
 
 std::vector<std::uint32_t> parse_offsets(const std::string& spec) {
@@ -122,6 +140,36 @@ void register_builtin_processes(ProcessRegistry& r) {
               g, spread_token_starts(g.num_vertices(), k, start_vertex(g, p)),
               make_rule(p.get("rule", "uniform"), g, rng));
         });
+  // PCF-evolving processes: the incoming graph is the POTENTIAL-edge base;
+  // the walker steps on an owned DynamicGraph that starts empty and grows
+  // as the PCF schedule (drawn from a child split of the walk stream, so
+  // trajectories stay thread-count independent) opens edges around it.
+  r.add("pcf-srw", "[--alpha A] [--dt T] [--start V]",
+        "SRW on a PCF-evolving graph (edges open at rate 1, components freeze at rate alpha)",
+        [](const Graph& g, const ParamMap& p, Rng& rng) -> std::unique_ptr<WalkProcess> {
+          Rng schedule_rng = rng.split();
+          return std::make_unique<PcfProcess<DynamicSrw>>(
+              g, start_vertex(g, p), pcf_alpha(p), pcf_time_per_step(g, p),
+              schedule_rng);
+        });
+  r.add("pcf-eprocess", "[--alpha A] [--dt T] [--start V]",
+        "unvisited-edge process on a PCF-evolving graph (uniform blue choice)",
+        [](const Graph& g, const ParamMap& p, Rng& rng) -> std::unique_ptr<WalkProcess> {
+          Rng schedule_rng = rng.split();
+          return std::make_unique<PcfProcess<DynamicEProcess>>(
+              g, start_vertex(g, p), pcf_alpha(p), pcf_time_per_step(g, p),
+              schedule_rng);
+        });
+  r.add("pcf-coalescing-srw", "[--tokens K] [--alpha A] [--dt T] [--start V]",
+        "K coalescing SRW tokens on a PCF-evolving graph",
+        [](const Graph& g, const ParamMap& p, Rng& rng) -> std::unique_ptr<WalkProcess> {
+          const std::uint32_t k =
+              static_cast<std::uint32_t>(p.get_u64("tokens", 2));
+          Rng schedule_rng = rng.split();
+          return std::make_unique<PcfCoalescingSrw>(
+              g, spread_token_starts(g.num_vertices(), k, start_vertex(g, p)),
+              pcf_alpha(p), pcf_time_per_step(g, p), schedule_rng);
+        });
   r.add("herman", "[--tokens K odd] [--start V]",
         "Herman's protocol: odd tokens on a cycle, pairwise annihilation",
         [](const Graph& g, const ParamMap& p, Rng&) -> std::unique_ptr<WalkProcess> {
@@ -202,6 +250,19 @@ void register_builtin_generators(GeneratorRegistry& r) {
         [](const ParamMap& p, Rng&) {
           return lollipop(static_cast<Vertex>(p.get_u64("clique", 50)),
                           static_cast<Vertex>(p.get_u64("tail", 50)));
+        });
+  r.add("pcf", "--base FAMILY --alpha A --n N (+ base family params)",
+        "terminal PCF cluster graph: play edge-opening with freezing on a base family to exhaustion, freeze the open subgraph",
+        [](const ParamMap& p, Rng& rng) {
+          const std::string base_name = p.get("base", "regular");
+          if (base_name == "pcf")
+            throw std::invalid_argument("--base pcf would recurse");
+          const Graph base =
+              GeneratorRegistry::instance().create(base_name, p, rng);
+          PcfSchedule schedule(base, pcf_alpha(p), rng);
+          DynamicGraph dyn(base.num_vertices());
+          schedule.run_to_completion(dyn);
+          return dyn.freeze();
         });
   r.add("petersen", "", "the Petersen graph",
         [](const ParamMap&, Rng&) { return petersen_graph(); });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace ewalk {
@@ -15,7 +16,10 @@ Graph Graph::from_edges(Vertex n, std::vector<Endpoints>&& edges) {
   // Slot indices (offsets_, slot_index) are 32-bit: 2m must fit. Edge ids are
   // 32-bit too, which the same bound covers with room to spare.
   if (edges.size() > std::numeric_limits<std::uint32_t>::max() / 2)
-    throw std::invalid_argument("Graph::from_edges: edge count overflows 32-bit slot indices");
+    throw std::invalid_argument(
+        "Graph::from_edges: edge count overflows 32-bit slot indices (n=" +
+        std::to_string(n) + ", m=" + std::to_string(edges.size()) +
+        "; 2m must fit in uint32)");
 
   Graph g;
   g.n_ = n;

@@ -1,0 +1,77 @@
+#include "graph/pcf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ewalk {
+namespace {
+
+// Exp(rate) draw via inversion; log1p keeps precision when uniform_real()
+// lands near 0. Consumes exactly one u64 of the stream.
+double exp_draw(Rng& rng, double rate) {
+  return -std::log1p(-rng.uniform_real()) / rate;
+}
+
+}  // namespace
+
+PcfSchedule::PcfSchedule(const Graph& base, double alpha, Rng& rng)
+    : base_(&base), alpha_(alpha), components_(base.num_vertices()) {
+  if (!(alpha > 0.0))
+    throw std::invalid_argument("PcfSchedule: alpha must be > 0");
+
+  // Fixed draw order — edges first, then vertices, then the child split —
+  // so the schedule is a pure function of the incoming stream position.
+  events_.resize(base.num_edges());
+  for (EdgeId e = 0; e < base.num_edges(); ++e)
+    events_[e] = Event{exp_draw(rng, 1.0), e};
+  freeze_time_.resize(base.num_vertices());
+  for (Vertex v = 0; v < base.num_vertices(); ++v)
+    freeze_time_[v] = exp_draw(rng, alpha_);
+  merge_rng_ = rng.split();
+
+  // Ties (astronomically unlikely with 53-bit times, but possible) break by
+  // base edge id so the processing order is total and reproducible.
+  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    return a.time != b.time ? a.time < b.time : a.base_edge < b.base_edge;
+  });
+}
+
+void PcfSchedule::advance_to(double t, DynamicGraph& dyn) {
+  while (cursor_ < events_.size() && events_[cursor_].time <= t) {
+    const Event& ev = events_[cursor_++];
+    const Endpoints ep = base_->endpoints(ev.base_edge);
+    const Vertex ru = components_.find(ep.u);
+    const Vertex rv = components_.find(ep.v);
+    // A component is frozen at ev.time iff its clock rang first. Frozen
+    // components never gain edges, so the open event is blocked forever.
+    if (freeze_time_[ru] <= ev.time || freeze_time_[rv] <= ev.time) {
+      ++blocked_;
+      continue;
+    }
+    dyn.insert_edge(ep.u, ep.v);
+    ++opened_;
+    if (ru != rv) {
+      components_.unite(ru, rv);
+      // Redraw the merged component's freeze clock from the event time;
+      // Exp is memoryless, so the fresh draw is distributionally exact.
+      // Drawn from the private stream in event-processing order, which is
+      // the same regardless of how advance_to calls partition [0, t].
+      freeze_time_[components_.find(ru)] = ev.time + exp_draw(merge_rng_, alpha_);
+    }
+    // An intra-component edge (ru == rv) closes a cycle inside an unfrozen
+    // component: inserted, no merge, no redraw.
+  }
+}
+
+void PcfSchedule::run_to_completion(DynamicGraph& dyn) {
+  advance_to(std::numeric_limits<double>::infinity(), dyn);
+}
+
+double PcfSchedule::next_event_time() const noexcept {
+  return exhausted() ? std::numeric_limits<double>::infinity()
+                     : events_[cursor_].time;
+}
+
+}  // namespace ewalk

@@ -5,9 +5,12 @@
 namespace ewalk {
 
 TokenSystem::TokenSystem(const Graph& g, const std::vector<Vertex>& starts)
+    : TokenSystem(g.num_vertices(), starts) {}
+
+TokenSystem::TokenSystem(Vertex n, const std::vector<Vertex>& starts)
     : positions_(starts),
       alive_(starts.size(), 1),
-      occupant_(g.num_vertices(), kNoToken),
+      occupant_(n, kNoToken),
       next_alive_(starts.size()),
       prev_alive_(starts.size()),
       initial_tokens_(static_cast<std::uint32_t>(starts.size())),
@@ -20,7 +23,7 @@ TokenSystem::TokenSystem(const Graph& g, const std::vector<Vertex>& starts)
   }
   for (TokenId t = 0; t < initial_tokens_; ++t) {
     const Vertex v = starts[t];
-    if (v >= g.num_vertices())
+    if (v >= n)
       throw std::invalid_argument("TokenSystem: start vertex out of range");
     if (occupant_[v] != kNoToken)
       throw std::invalid_argument("TokenSystem: duplicate start vertex");

@@ -35,6 +35,11 @@ class TokenSystem {
   /// in range. At least one token is required.
   TokenSystem(const Graph& g, const std::vector<Vertex>& starts);
 
+  /// Same, on a bare vertex set {0, ..., n-1}: the token state only needs
+  /// the vertex count, so dynamic-graph processes (whose edge set evolves)
+  /// construct it without a CSR.
+  TokenSystem(Vertex n, const std::vector<Vertex>& starts);
+
   std::uint32_t initial_tokens() const { return initial_tokens_; }
   std::uint32_t tokens_alive() const { return alive_count_; }
   bool alive(TokenId t) const { return alive_[t] != 0; }

@@ -1,0 +1,120 @@
+#include "walks/dynamic_walks.hpp"
+
+#include <stdexcept>
+
+#include "walks/step_core.hpp"
+
+namespace ewalk {
+
+// ---- DynamicSrw ------------------------------------------------------------
+
+DynamicSrw::DynamicSrw(DynamicGraphView view, Vertex start, SrwOptions options)
+    : view_(view), options_(options), current_(start),
+      cover_(view.num_vertices(), /*m=*/1) {
+  if (start >= view.num_vertices())
+    throw std::invalid_argument("DynamicSrw: start vertex out of range");
+  cover_.visit_vertex(start, 0);
+}
+
+void DynamicSrw::step(Rng& rng) {
+  ++steps_;
+  if (options_.lazy && rng.bernoulli(0.5)) {
+    cover_.visit_vertex(current_, steps_);
+    return;
+  }
+  Slot slot;
+  if (srw_transition(view_, current_, rng, &slot) == TransitionKind::kIsolated) {
+    ++holds_;
+    cover_.visit_vertex(current_, steps_);
+    return;
+  }
+  current_ = slot.neighbor;
+  cover_.visit_vertex(current_, steps_);
+}
+
+// ---- DynamicEProcess -------------------------------------------------------
+
+// Adapts the journal-synced visited bitmap + blue counts to the BlueIndexT
+// seam of eprocess_transition: uniform choice over the blue slots of the
+// vertex (one rng draw, then an O(degree) scan to the chosen slot).
+struct DynamicBlueIndex {
+  DynamicEProcess& walk;
+
+  std::uint32_t blue_count(Vertex v) const { return walk.blue_count_[v]; }
+
+  Slot take_blue(Vertex v, Rng& rng) {
+    const std::uint32_t target =
+        static_cast<std::uint32_t>(rng.uniform(walk.blue_count_[v]));
+    const std::uint32_t d = walk.view_.degree(v);
+    std::uint32_t seen = 0;
+    for (std::uint32_t k = 0; k < d; ++k) {
+      const Slot& s = walk.view_.slot(v, k);
+      if (walk.edge_visited_[s.edge]) continue;
+      if (seen++ == target) {
+        walk.edge_visited_[s.edge] = 1;
+        const Endpoints ep = walk.view_.endpoints(s.edge);
+        --walk.blue_count_[ep.u];
+        --walk.blue_count_[ep.v];  // self-loop: u == v, total -2 (two slots)
+        return s;
+      }
+    }
+    // blue_count_ says a blue slot exists; the scan must find it.
+    throw std::logic_error("DynamicEProcess: blue count out of sync");
+  }
+};
+
+DynamicEProcess::DynamicEProcess(DynamicGraphView view, Vertex start)
+    : view_(view), current_(start), cover_(view.num_vertices(), /*m=*/1),
+      blue_count_(view.num_vertices(), 0) {
+  if (start >= view.num_vertices())
+    throw std::invalid_argument("DynamicEProcess: start vertex out of range");
+  // Epoch-0 baseline: everything alive now is unvisited, hence blue. The
+  // journal cursor starts at the current epoch — earlier mutations are
+  // already reflected in this scan.
+  edge_visited_.assign(view.edge_capacity(), 0);
+  for (Vertex v = 0; v < view.num_vertices(); ++v)
+    blue_count_[v] = view.degree(v);
+  synced_epoch_ = view.epoch();
+  cover_.visit_vertex(start, 0);
+}
+
+void DynamicEProcess::sync() {
+  const auto& journal = view_.journal();
+  for (; synced_epoch_ < journal.size(); ++synced_epoch_) {
+    const GraphMutation& mu = journal[synced_epoch_];
+    if (mu.kind == MutationKind::kInsert) {
+      if (edge_visited_.size() <= mu.edge) edge_visited_.resize(mu.edge + 1, 0);
+      // A fresh edge is unvisited: one blue slot per endpoint (two for a
+      // self-loop, since u == v bumps the same vertex twice).
+      ++blue_count_[mu.endpoints.u];
+      ++blue_count_[mu.endpoints.v];
+    } else if (!edge_visited_[mu.edge]) {
+      // An erased blue edge leaves the counts; an erased visited edge was
+      // already excluded from them.
+      --blue_count_[mu.endpoints.u];
+      --blue_count_[mu.endpoints.v];
+    }
+  }
+}
+
+void DynamicEProcess::step(Rng& rng) {
+  sync();
+  const Vertex v = current_;
+  ++steps_;
+  DynamicBlueIndex index{*this};
+  Slot slot;
+  const TransitionKind kind = eprocess_transition(view_, index, v, rng, &slot);
+  if (kind == TransitionKind::kIsolated) {
+    ++holds_;
+    cover_.visit_vertex(v, steps_);
+    return;
+  }
+  if (kind == TransitionKind::kBlue)
+    ++blue_steps_;
+  else
+    ++red_steps_;
+  current_ = slot.neighbor;
+  cover_.visit_vertex(current_, steps_);
+}
+
+}  // namespace ewalk

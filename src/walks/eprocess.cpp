@@ -3,8 +3,36 @@
 #include <stdexcept>
 
 #include "walks/blue_choice.hpp"
+#include "walks/step_core.hpp"
 
 namespace ewalk {
+namespace {
+
+// Adapts the static-path machinery (BluePartition + UnvisitedEdgeRule +
+// CoverState) to the BlueIndexT seam of eprocess_transition. take_blue
+// performs choose -> mark -> visit_edge in the exact historical order, so
+// the instantiation is operation-for-operation identical to the pre-seam
+// step body (pinned by the golden hashes in perf_regression_test).
+struct StaticBlueIndex {
+  BluePartition& blue;
+  const Graph& g;
+  UnvisitedEdgeRule& rule;
+  bool uniform_rule;
+  CoverState& cover;
+  std::uint64_t steps;
+
+  std::uint32_t blue_count(Vertex v) const { return blue.blue_count(v); }
+
+  Slot take_blue(Vertex v, Rng& rng) {
+    const Slot chosen =
+        choose_blue_slot(blue, g, v, rule, uniform_rule, cover, steps, rng);
+    blue.mark_edge_visited(g, chosen.edge);
+    cover.visit_edge(chosen.edge, steps);
+    return chosen;
+  }
+};
+
+}  // namespace
 
 EProcess::EProcess(const Graph& g, Vertex start, UnvisitedEdgeRule& rule,
                    EProcessOptions options)
@@ -29,21 +57,17 @@ void EProcess::note_transition(StepColor color, Vertex from, Vertex to) {
 StepColor EProcess::step(Rng& rng) {
   const Vertex v = current_;
   ++steps_;
+  StaticBlueIndex index{blue_, *g_, *rule_, uniform_rule_, cover_, steps_};
+  Slot slot;
+  const TransitionKind kind = eprocess_transition(*g_, index, v, rng, &slot);
+  if (kind == TransitionKind::kIsolated)
+    throw std::logic_error("EProcess: stuck at isolated vertex");
+  const Vertex to = slot.neighbor;
   StepColor color;
-  Vertex to;
-  if (blue_.blue_count(v) > 0) {
-    const Slot chosen = choose_blue_slot(blue_, *g_, v, *rule_, uniform_rule_,
-                                         cover_, steps_, rng);
-    blue_.mark_edge_visited(*g_, chosen.edge);
-    cover_.visit_edge(chosen.edge, steps_);
-    to = chosen.neighbor;
+  if (kind == TransitionKind::kBlue) {
     color = StepColor::kBlue;
     ++blue_steps_;
   } else {
-    const std::uint32_t d = g_->degree(v);
-    if (d == 0) throw std::logic_error("EProcess: stuck at isolated vertex");
-    const Slot slot = g_->slot(v, static_cast<std::uint32_t>(rng.uniform(d)));
-    to = slot.neighbor;
     color = StepColor::kRed;
     ++red_steps_;
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "walks/step_core.hpp"
+
 namespace ewalk {
 
 SimpleRandomWalk::SimpleRandomWalk(const Graph& g, Vertex start, SrwOptions options)
@@ -18,9 +20,9 @@ void SimpleRandomWalk::step(Rng& rng) {
     cover_.visit_vertex(current_, steps_);
     return;
   }
-  const std::uint32_t d = g_->degree(current_);
-  if (d == 0) throw std::logic_error("SimpleRandomWalk: stuck at isolated vertex");
-  const Slot slot = g_->slot(current_, static_cast<std::uint32_t>(rng.uniform(d)));
+  Slot slot;
+  if (srw_transition(*g_, current_, rng, &slot) == TransitionKind::kIsolated)
+    throw std::logic_error("SimpleRandomWalk: stuck at isolated vertex");
   cover_.visit_edge(slot.edge, steps_);
   current_ = slot.neighbor;
   cover_.visit_vertex(current_, steps_);

@@ -155,13 +155,14 @@ TEST(EngineFastPath, UniformFastPathMatchesGenericDispatchBitForBit) {
 
 // ---- Registries -------------------------------------------------------------
 
-TEST(ProcessRegistry, RegistersAllThirteenProcesses) {
+TEST(ProcessRegistry, RegistersAllSixteenProcesses) {
   const auto names = ProcessRegistry::instance().names();
-  EXPECT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.size(), 16u);
   for (const char* expected :
        {"eprocess", "multi-eprocess", "srw", "lazy-srw", "rotor", "vertexwalk",
         "rwc", "leastused", "oldest", "weighted", "coalescing-srw",
-        "coalescing-ewalk", "herman"}) {
+        "coalescing-ewalk", "herman", "pcf-srw", "pcf-eprocess",
+        "pcf-coalescing-srw"}) {
     EXPECT_TRUE(ProcessRegistry::instance().contains(expected)) << expected;
   }
 }
@@ -172,6 +173,10 @@ TEST(ProcessRegistry, EveryRegisteredProcessCoversCycleAndHypercube) {
     for (const auto& name : ProcessRegistry::instance().names()) {
       // Herman's protocol is defined only on cycles.
       if (name == "herman" && !g.is_regular(2)) continue;
+      // PCF processes walk an evolving graph that starts empty; at the
+      // default alpha = 1 most components freeze before connecting, so
+      // full cover is not guaranteed. Covered by dynamic_graph_test.
+      if (name.rfind("pcf-", 0) == 0) continue;
       Rng rng(1000 + g.num_vertices());
       auto walk = ProcessRegistry::instance().create(name, g, ParamMap{}, rng);
       ASSERT_NE(walk, nullptr) << name;

@@ -21,8 +21,16 @@ dispatched on the top-level tag:
     version 1/2 files from existing artifacts are still accepted.
 
 Usage: validate_bench_json.py FILE [FILE...]
+       validate_bench_json.py --self-test
 Exits non-zero (with a per-file message) on the first violation.
+
+--self-test validates embedded sample documents (one per accepted format,
+including the PCF dynamic-graph sweep shape with censored/uncovered trials)
+and checks that representative corruptions of each are rejected. ctest runs
+it so validator drift fails tier-1, not just the perf-smoke job that feeds
+the validator real artifacts.
 """
+import copy
 import json
 import sys
 
@@ -157,9 +165,100 @@ def validate_sweep(path, d):
     print(f"{path}: OK ({len(points)} points, {n_series} series, {mode})")
 
 
+# ---- Self-test -------------------------------------------------------------
+#
+# Embedded minimal-but-valid documents for each accepted format. The sweep
+# sample mirrors the PCF dynamic-graph scenario (bench/pcf_cover.cpp): an
+# extra non-n sweep parameter (alpha) and censored trials reported through
+# uncovered_trials, both of which the validator must keep accepting.
+
+def _sample_throughput():
+    results = []
+    for i in range(6):
+        for bundle in (1, 8):
+            results.append({"process": f"proc{i}", "graph": "regular",
+                            "n": 1000, "m": 2000, "steps": 10000 + i,
+                            "seconds": 0.5, "steps_per_sec": 2.0e4,
+                            "bundle": bundle})
+    return {"bench": "throughput", "version": 2, "results": results}
+
+
+def _sample_sweep():
+    def series(name, uncovered):
+        return {"name": name, "mean": 5.0e5, "ci95": 1.0e4, "median": 4.8e5,
+                "min": 4.0e5, "max": 7.4e6, "uncovered_trials": uncovered,
+                "walk_seconds": 1.25, "samples": [4.0e5, 4.8e5, 7.4e6],
+                "trials_used": 3, "ci_rel_width": 0.02}
+
+    points = []
+    for n, alpha in ((1000, 0.001), (1000, 0.01), (2000, 0.001)):
+        points.append({"label": f"n={n} alpha={alpha}",
+                       "params": {"n": n, "alpha": alpha, "r": 4},
+                       "gen_seconds": 0.1,
+                       "series": [series("pcf-eprocess", 1),
+                                  series("pcf-srw", 2)]})
+    return {"sweep": "pcf", "version": 3, "points": points, "seed": 1, "trials": 3,
+            "threads": 4, "reuse_graph": False, "gen_seconds": 0.3,
+            "walk_seconds": 7.5, "wall_seconds": 2.1, "max_trials": 0,
+            "ci_rel_target": 0.05, "pin": False, "unit_count": 18,
+            "unit_seconds_min": 0.01, "unit_seconds_max": 0.9,
+            "timeline_bucket_seconds": 0.25,
+            "thread_timeline": [
+                {"thread": t, "busy_seconds": [0.2, 0.25, 0.1],
+                 "units": [3, 4, 2]} for t in range(4)]}
+
+
+def _expect_fail(doc, validator, label):
+    try:
+        validator("<self-test>", doc)
+    except SystemExit:
+        return
+    raise SystemExit(f"self-test: corruption not rejected: {label}")
+
+
+def self_test():
+    validate_throughput("<throughput sample>", _sample_throughput())
+    validate_sweep("<pcf sweep sample>", _sample_sweep())
+
+    d = _sample_throughput()
+    d["results"][0]["steps"] = 0
+    _expect_fail(d, validate_throughput, "throughput: zero steps")
+
+    d = _sample_throughput()
+    for r in d["results"]:
+        r["bundle"] = 1
+    _expect_fail(d, validate_throughput, "throughput: single bundle width")
+
+    base = _sample_sweep()
+    d = copy.deepcopy(base)
+    s = d["points"][0]["series"][0]
+    s["median"] = s["max"] + 1
+    _expect_fail(d, validate_sweep, "sweep: min/median/max out of order")
+
+    d = copy.deepcopy(base)
+    del d["points"][1]["series"][0]["samples"]
+    _expect_fail(d, validate_sweep, "sweep: missing samples")
+
+    d = copy.deepcopy(base)
+    del d["points"][2]["params"]["alpha"]
+    _expect_fail(d, validate_sweep, "sweep: inconsistent param names")
+
+    d = copy.deepcopy(base)
+    s = d["points"][0]["series"][1]
+    s["uncovered_trials"] = s["trials_used"] + 1
+    _expect_fail(d, validate_sweep, "sweep: uncovered > trials_used")
+
+    print("self-test OK (2 formats accepted, 6 corruptions rejected)")
+
+
 def main(argv):
     if len(argv) < 2:
         raise SystemExit(__doc__)
+    if argv[1] == "--self-test":
+        if len(argv) != 2:
+            raise SystemExit("--self-test takes no further arguments")
+        self_test()
+        return
     for path in argv[1:]:
         with open(path) as f:
             d = json.load(f)
