@@ -84,10 +84,10 @@ int main(int argc, char** argv) {
               "SRW/n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
-    CoalescenceExperimentConfig ec;
+    RunRequest ec;
     ec.trials = cfg.trials;
     ec.threads = cfg.threads;
-    ec.master_seed = cfg.seed * 6151 + i;
+    ec.seed = cfg.seed * 6151 + i;
     const auto srw = measure_coalescence(srw_tokens(row.tokens), row.graphs, ec);
     const auto ew = measure_coalescence(ewalk_tokens(row.tokens), row.graphs, ec);
     const double n = row.n;
@@ -113,10 +113,10 @@ int main(int argc, char** argv) {
       cfg.full ? std::vector<Vertex>{129, 257, 513, 1025}
                : std::vector<Vertex>{65, 129, 257};
   for (const Vertex n : herman_ns) {
-    CoalescenceExperimentConfig ec;
+    RunRequest ec;
     ec.trials = cfg.trials;
     ec.threads = cfg.threads;
-    ec.master_seed = cfg.seed * 7907 + n;
+    ec.seed = cfg.seed * 7907 + n;
     const auto res = measure_coalescence(
         [](const Graph& g, Rng&) -> std::unique_ptr<TokenProcess> {
           return std::make_unique<HermanRing>(

@@ -48,10 +48,10 @@ int main(int argc, char** argv) {
       return random_regular_connected(n, r, rng);
     };
     for (std::size_t i = 0; i < rules.size(); ++i) {
-      CoverExperimentConfig ec;
+      RunRequest ec;
       ec.trials = cfg.trials;
       ec.threads = cfg.threads;
-      ec.master_seed = cfg.seed * 1299709 + r * 7 + i;
+      ec.seed = cfg.seed * 1299709 + r * 7 + i;
       const auto res = measure_eprocess_cover(graphs, rules[i].make, ec);
       std::printf("  %-14s %14.0f %10.0f %10.3f\n", rules[i].label, res.stats.mean,
                   res.stats.ci95_halfwidth(), res.stats.mean / n);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <span>
+#include <stdexcept>
 
 #include "engine/adapters.hpp"
 #include "engine/budget.hpp"
@@ -15,6 +16,22 @@ namespace ewalk {
 
 namespace {
 
+// The cover target of a RunRequest, for this harness: kAuto means vertex
+// cover; coalescence runs belong to measure_coalescence.
+CoverTarget cover_target_of(const RunRequest& req) {
+  switch (req.target) {
+    case RunTarget::kEdges:
+      return CoverTarget::kEdges;
+    case RunTarget::kCoalescence:
+      throw std::invalid_argument(
+          "measure_cover: target coalescence needs measure_coalescence");
+    case RunTarget::kAuto:
+    case RunTarget::kVertices:
+      break;
+  }
+  return CoverTarget::kVertices;
+}
+
 // One bundle of `width` consecutive trials, run as a single scheduler task:
 // per trial (ascending order) the graph and process are built from the
 // trial's own stream — the same single-stream graph->process->walk order
@@ -22,10 +39,10 @@ namespace {
 // run_trial_bundle with the sequential stride-1 check schedule. Samples are
 // therefore bit-identical to the width-1 path for every bundle width.
 void run_cover_bundle(const ProcessFactory& processes,
-                      const GraphFactory& graphs,
-                      const CoverExperimentConfig& config,
-                      std::span<Rng> streams, std::uint32_t lo,
-                      std::uint32_t hi, std::vector<double>& samples,
+                      const GraphFactory& graphs, CoverTarget target,
+                      std::uint64_t max_steps, std::span<Rng> streams,
+                      std::uint32_t lo, std::uint32_t hi,
+                      std::vector<double>& samples,
                       std::atomic<std::uint32_t>& uncovered) {
   const std::uint32_t width = hi - lo;
   std::vector<Graph> bundle_graphs;
@@ -39,12 +56,11 @@ void run_cover_bundle(const ProcessFactory& processes,
     bundle_graphs.push_back(graphs(rng));
     const Graph& g = bundle_graphs.back();
     walks.push_back(processes(g, rng));
-    budgets[i] = config.max_steps != 0 ? config.max_steps
-                                       : default_step_budget(g);
+    budgets[i] = max_steps != 0 ? max_steps : default_step_budget(g);
     bundle[i] = BundleTrial{walks.back().get(), &rng, budgets[i], 1};
   }
   std::vector<std::uint8_t> finished;
-  if (config.target == CoverTarget::kVertices) {
+  if (target == CoverTarget::kVertices) {
     finished = run_trial_bundle(
         std::span<const BundleTrial>(bundle), [](const WalkProcess& p) {
           return p.cover().all_vertices_covered();
@@ -58,7 +74,7 @@ void run_cover_bundle(const ProcessFactory& processes,
   for (std::uint32_t i = 0; i < width; ++i) {
     if (finished[i]) {
       samples[lo + i] = static_cast<double>(
-          config.target == CoverTarget::kVertices
+          target == CoverTarget::kVertices
               ? walks[i]->cover().vertex_cover_step()
               : walks[i]->cover().edge_cover_step());
     } else {
@@ -103,26 +119,27 @@ SummaryStats run_trials_summary(std::uint32_t count, std::uint32_t threads,
 
 CoverExperimentResult measure_cover(const ProcessFactory& processes,
                                     const GraphFactory& graphs,
-                                    const CoverExperimentConfig& config) {
-  if (config.bundle_width > 1 && config.trials > 1) {
+                                    const RunRequest& req) {
+  const CoverTarget target = cover_target_of(req);
+  if (req.bundle_width > 1 && req.trials > 1) {
     // Bundled path: one scheduler task per bundle of `bundle_width`
     // consecutive trials, each advanced round-robin in one interleaved
     // loop (engine/bundle.hpp). Trial streams, construction order, and the
     // per-trial check schedule are identical to the width-1 path, so the
     // samples are too.
     std::atomic<std::uint32_t> uncovered{0};
-    std::vector<Rng> streams = derive_streams(config.master_seed, config.trials);
-    std::vector<double> samples(config.trials, 0.0);
-    const std::uint32_t width = std::min(config.bundle_width, config.trials);
-    const std::uint32_t bundles = (config.trials + width - 1) / width;
+    std::vector<Rng> streams = derive_streams(req.seed, req.trials);
+    std::vector<double> samples(req.trials, 0.0);
+    const std::uint32_t width = std::min(req.bundle_width, req.trials);
+    const std::uint32_t bundles = (req.trials + width - 1) / width;
     std::uint32_t workers =
-        config.threads == 0 ? Executor::hardware_threads() : config.threads;
+        req.threads == 0 ? Executor::hardware_threads() : req.threads;
     workers = std::min(workers, bundles);
     const auto run_one = [&](std::uint32_t b) {
       const std::uint32_t lo = b * width;
-      const std::uint32_t hi = std::min(lo + width, config.trials);
-      run_cover_bundle(processes, graphs, config, streams, lo, hi, samples,
-                       uncovered);
+      const std::uint32_t hi = std::min(lo + width, req.trials);
+      run_cover_bundle(processes, graphs, target, req.max_steps, streams, lo,
+                       hi, samples, uncovered);
     };
     if (workers <= 1) {
       for (std::uint32_t b = 0; b < bundles; ++b) run_one(b);
@@ -141,15 +158,15 @@ CoverExperimentResult measure_cover(const ProcessFactory& processes,
 
   std::atomic<std::uint32_t> uncovered{0};
   auto samples = run_trials(
-      config.trials, config.threads, config.master_seed,
+      req.trials, req.threads, req.seed,
       [&](Rng& rng, std::uint32_t) -> double {
         const Graph g = graphs(rng);
         auto walk = processes(g, rng);
         const std::uint64_t budget =
-            config.max_steps != 0 ? config.max_steps : default_step_budget(g);
+            req.max_steps != 0 ? req.max_steps : default_step_budget(g);
         bool done;
         std::uint64_t result;
-        if (config.target == CoverTarget::kVertices) {
+        if (target == CoverTarget::kVertices) {
           done = run_until(*walk, rng, VertexCovered{}, budget);
           result = walk->cover().vertex_cover_step();
         } else {
@@ -172,18 +189,18 @@ CoverExperimentResult measure_cover(const ProcessFactory& processes,
 
 CoalescenceExperimentResult measure_coalescence(
     const TokenProcessFactory& processes, const GraphFactory& graphs,
-    const CoalescenceExperimentConfig& config) {
+    const RunRequest& req) {
   std::atomic<std::uint32_t> unfinished{0};
-  std::vector<double> meetings(config.trials, 0.0);
+  std::vector<double> meetings(req.trials, 0.0);
   auto samples = run_trials(
-      config.trials, config.threads, config.master_seed,
+      req.trials, req.threads, req.seed,
       [&](Rng& rng, std::uint32_t trial) -> double {
         const Graph g = graphs(rng);
         auto process = processes(g, rng);
         const std::uint64_t budget =
-            config.max_steps != 0 ? config.max_steps : default_step_budget(g);
+            req.max_steps != 0 ? req.max_steps : default_step_budget(g);
         const bool done = run_until_process(
-            *process, rng, TokensAtMost{config.target_tokens}, budget);
+            *process, rng, TokensAtMost{req.target_tokens}, budget);
         const std::uint64_t met = process->first_meeting_step();
         meetings[trial] =
             static_cast<double>(met != kNotCovered ? met : budget);
@@ -194,7 +211,7 @@ CoalescenceExperimentResult measure_coalescence(
         // With stride 1 the driver stops on the first step the population
         // hits the target; for target 1 the recorded coalescence step is
         // that same step.
-        return static_cast<double>(config.target_tokens <= 1
+        return static_cast<double>(req.target_tokens <= 1
                                        ? process->coalescence_step()
                                        : process->steps());
       });
@@ -210,21 +227,73 @@ CoalescenceExperimentResult measure_coalescence(
 
 CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
                                              const RuleFactory& rules,
-                                             const CoverExperimentConfig& config) {
+                                             const RunRequest& req) {
   return measure_cover(
       [&rules](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
         return std::make_unique<EProcessHandle>(g, /*start=*/0, rules(g));
       },
-      graphs, config);
+      graphs, req);
 }
 
 CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
-                                        const CoverExperimentConfig& config) {
+                                        const RunRequest& req) {
   return measure_cover(
       [](const Graph& g, Rng&) -> std::unique_ptr<WalkProcess> {
         return std::make_unique<SimpleRandomWalk>(g, /*start=*/0);
       },
-      graphs, config);
+      graphs, req);
+}
+
+// ---- Deprecated config-struct forwarders (one release) ---------------------
+
+namespace {
+
+RunRequest to_request(const CoverExperimentConfig& config) {
+  RunRequest req;
+  req.trials = config.trials;
+  req.threads = config.threads;
+  req.seed = config.master_seed;
+  req.max_steps = config.max_steps;
+  req.target = config.target == CoverTarget::kEdges ? RunTarget::kEdges
+                                                    : RunTarget::kVertices;
+  req.bundle_width = config.bundle_width;
+  return req;
+}
+
+RunRequest to_request(const CoalescenceExperimentConfig& config) {
+  RunRequest req;
+  req.trials = config.trials;
+  req.threads = config.threads;
+  req.seed = config.master_seed;
+  req.max_steps = config.max_steps;
+  req.target = RunTarget::kCoalescence;
+  req.target_tokens = config.target_tokens;
+  return req;
+}
+
+}  // namespace
+
+CoverExperimentResult measure_cover(const ProcessFactory& processes,
+                                    const GraphFactory& graphs,
+                                    const CoverExperimentConfig& config) {
+  return measure_cover(processes, graphs, to_request(config));
+}
+
+CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
+                                             const RuleFactory& rules,
+                                             const CoverExperimentConfig& config) {
+  return measure_eprocess_cover(graphs, rules, to_request(config));
+}
+
+CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
+                                        const CoverExperimentConfig& config) {
+  return measure_srw_cover(graphs, to_request(config));
+}
+
+CoalescenceExperimentResult measure_coalescence(
+    const TokenProcessFactory& processes, const GraphFactory& graphs,
+    const CoalescenceExperimentConfig& config) {
+  return measure_coalescence(processes, graphs, to_request(config));
 }
 
 }  // namespace ewalk

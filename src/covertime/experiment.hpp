@@ -12,6 +12,13 @@
 //   * measure_coalescence — the interacting-walker mirror of measure_cover:
 //     any TokenProcess factory, driven to a token-population target,
 //     reporting coalescence and first-meeting times.
+//
+// Configuration: both experiments are configured by the canonical
+// RunRequest (serve/request.hpp) — the same struct the CLI and the ewalkd
+// server construct, so every surface agrees on field names and defaults.
+// The legacy CoverExperimentConfig / CoalescenceExperimentConfig overloads
+// survive one release as thin forwarders; migrate by renaming
+// `master_seed` -> `seed` and (for coalescence) keeping `target_tokens`.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,7 @@
 #include "engine/process.hpp"
 #include "engine/token_process.hpp"
 #include "graph/graph.hpp"
+#include "serve/request.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "walks/eprocess.hpp"
@@ -63,12 +71,16 @@ using RuleFactory = std::function<std::unique_ptr<UnvisitedEdgeRule>(const Graph
 using ProcessFactory =
     std::function<std::unique_ptr<WalkProcess>(const Graph&, Rng&)>;
 
+/// \deprecated Legacy cover-experiment configuration; superseded by the
+/// canonical RunRequest (serve/request.hpp), which every surface now
+/// constructs. Kept one release as a forwarding shim — migrate by renaming
+/// `master_seed` to `seed` (the other fields map one-to-one).
 struct CoverExperimentConfig {
   std::uint32_t trials = 5;      ///< the paper used 5 per data point
   std::uint32_t threads = 0;     ///< 0 = hardware concurrency
-  std::uint64_t master_seed = 1;
+  std::uint64_t master_seed = 1; ///< root of every per-trial stream
   std::uint64_t max_steps = 0;   ///< 0 = default_step_budget(g) (engine/budget.hpp)
-  CoverTarget target = CoverTarget::kVertices;
+  CoverTarget target = CoverTarget::kVertices;  ///< what each trial measures
   /// Trials interleaved per scheduler task (engine/bundle.hpp): <= 1 runs
   /// each trial as its own task (the historical path); W > 1 packs W
   /// consecutive trials into one round-robin bundle that hides DRAM latency
@@ -88,18 +100,37 @@ struct CoverExperimentResult {
 };
 
 /// The one generic cover experiment: a fresh graph and process per trial,
-/// driven by the engine's run_until to the configured target.
+/// driven by the engine's run_until to the request's target. Consumes the
+/// run-scheduling fields of `req` (trials, threads, seed, max_steps,
+/// target, bundle_width); registry/protocol fields (graph, process, params,
+/// id) are ignored here — factories already bound them. RunTarget::kAuto
+/// resolves to vertex cover; kCoalescence is rejected (use
+/// measure_coalescence).
 CoverExperimentResult measure_cover(const ProcessFactory& processes,
                                     const GraphFactory& graphs,
-                                    const CoverExperimentConfig& config);
+                                    const RunRequest& req);
 
 /// E-process convenience wrapper: walk started at vertex 0 with a fresh
 /// rule per trial.
 CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
                                              const RuleFactory& rules,
-                                             const CoverExperimentConfig& config);
+                                             const RunRequest& req);
 
 /// Same, for the simple random walk.
+CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
+                                        const RunRequest& req);
+
+/// \deprecated Forwards to the RunRequest overload; removed next release.
+CoverExperimentResult measure_cover(const ProcessFactory& processes,
+                                    const GraphFactory& graphs,
+                                    const CoverExperimentConfig& config);
+
+/// \deprecated Forwards to the RunRequest overload; removed next release.
+CoverExperimentResult measure_eprocess_cover(const GraphFactory& graphs,
+                                             const RuleFactory& rules,
+                                             const CoverExperimentConfig& config);
+
+/// \deprecated Forwards to the RunRequest overload; removed next release.
 CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
                                         const CoverExperimentConfig& config);
 
@@ -110,10 +141,14 @@ CoverExperimentResult measure_srw_cover(const GraphFactory& graphs,
 using TokenProcessFactory =
     std::function<std::unique_ptr<TokenProcess>(const Graph&, Rng&)>;
 
+/// \deprecated Legacy coalescence configuration; superseded by the
+/// canonical RunRequest (serve/request.hpp). Kept one release as a
+/// forwarding shim — migrate by renaming `master_seed` to `seed`
+/// (`target_tokens` keeps its name).
 struct CoalescenceExperimentConfig {
-  std::uint32_t trials = 5;
+  std::uint32_t trials = 5;         ///< samples to draw
   std::uint32_t threads = 0;        ///< 0 = hardware concurrency
-  std::uint64_t master_seed = 1;
+  std::uint64_t master_seed = 1;    ///< root of every per-trial stream
   std::uint64_t max_steps = 0;      ///< 0 = default_step_budget(g)
   std::uint32_t target_tokens = 1;  ///< stop once population <= this
 };
@@ -133,7 +168,14 @@ struct CoalescenceExperimentResult {
 
 /// The interacting-walker mirror of measure_cover: a fresh graph and token
 /// process per trial, driven by the engine's run_until_process to the
-/// population target.
+/// population target. Consumes trials, threads, seed, max_steps, and
+/// target_tokens of `req`; the target enum is ignored (this experiment is
+/// always a coalescence run).
+CoalescenceExperimentResult measure_coalescence(
+    const TokenProcessFactory& processes, const GraphFactory& graphs,
+    const RunRequest& req);
+
+/// \deprecated Forwards to the RunRequest overload; removed next release.
 CoalescenceExperimentResult measure_coalescence(
     const TokenProcessFactory& processes, const GraphFactory& graphs,
     const CoalescenceExperimentConfig& config);

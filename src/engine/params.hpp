@@ -34,6 +34,8 @@ class ParamMap {
   void set(const std::string& key, std::string value) {
     values_[key] = std::move(value);
   }
+  /// Removes `key` if present (alias folding rewrites keys in place).
+  void erase(const std::string& key) { values_.erase(key); }
 
   /// The raw string at `key`, or `fallback` when absent.
   std::string get(const std::string& key, const std::string& fallback) const;

@@ -1,7 +1,9 @@
 #include "engine/registry.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "engine/adapters.hpp"
 #include "engine/pcf_process.hpp"
@@ -274,6 +276,42 @@ void register_builtin_generators(GeneratorRegistry& r) {
 
 }  // namespace
 
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Single-row dynamic program; the strings here are short option names.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+std::vector<std::string> nearest_names(const std::string& name,
+                                       const std::vector<std::string>& candidates,
+                                       std::size_t max_results) {
+  // A suggestion further than ~a third of the query (min 2 edits) is noise:
+  // "eproces" should suggest eprocess, "zzzzz" should suggest nothing.
+  const std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d <= budget) scored.emplace_back(d, c);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+  if (scored.size() > max_results) scored.resize(max_results);
+  std::vector<std::string> out;
+  out.reserve(scored.size());
+  for (auto& [d, c] : scored) out.push_back(std::move(c));
+  return out;
+}
+
 std::unique_ptr<UnvisitedEdgeRule> make_rule(const std::string& name,
                                              const Graph& g, Rng& rng) {
   if (name == "uniform") return std::make_unique<UniformRule>();
@@ -284,7 +322,14 @@ std::unique_ptr<UnvisitedEdgeRule> make_rule(const std::string& name,
   if (name == "greedy") return std::make_unique<PreferUnvisitedEndpointRule>();
   if (name == "priority") return std::make_unique<FixedPriorityRule>(g.num_edges(), rng);
   std::ostringstream msg;
-  msg << "unknown --rule: " << name << " (known:";
+  msg << "unknown --rule: " << name;
+  const std::vector<std::string> near = nearest_names(name, rule_names());
+  if (!near.empty()) {
+    msg << " (did you mean:";
+    for (const std::string& n : near) msg << ' ' << n;
+    msg << '?' << ')';
+  }
+  msg << " (known:";
   for (const auto& k : rule_names()) msg << ' ' << k;
   msg << ')';
   throw std::invalid_argument(msg.str());

@@ -11,6 +11,7 @@
 // names, so a CLI typo produces a useful message.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <sstream>
@@ -35,11 +36,25 @@ std::unique_ptr<UnvisitedEdgeRule> make_rule(const std::string& name,
 /// Names accepted by make_rule, for help output.
 const std::vector<std::string>& rule_names();
 
+/// Levenshtein edit distance between `a` and `b` — the metric behind the
+/// "did you mean" suggestions in registry lookup errors.
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// The candidates closest to `name` by edit distance, nearest first, capped
+/// at `max_results` and at a distance budget scaled to the query length (so
+/// a wild typo suggests nothing rather than everything). Used by the
+/// registries and make_rule to make typo'd CLI flags and server requests
+/// self-diagnosing.
+std::vector<std::string> nearest_names(const std::string& name,
+                                       const std::vector<std::string>& candidates,
+                                       std::size_t max_results = 3);
+
 namespace detail {
 
 /// Shared registry machinery: named entries with help strings, lookup that
-/// throws listing the known names, registration-order enumeration. The two
-/// concrete registries differ only in factory signature and error label.
+/// throws listing the known names (plus nearest-match suggestions),
+/// registration-order enumeration. The two concrete registries differ only
+/// in factory signature and error label.
 template <typename FactoryT>
 class NamedRegistry {
  public:
@@ -66,6 +81,11 @@ class NamedRegistry {
     return false;
   }
 
+  /// The entry registered under `name`; throws std::invalid_argument with
+  /// nearest-match suggestions when absent. Lets callers validate a name
+  /// (and get the self-diagnosing error) without constructing anything.
+  const Entry& at(const std::string& name) const { return find(name); }
+
   /// Registered names in registration order.
   std::vector<std::string> names() const {
     std::vector<std::string> out;
@@ -83,7 +103,14 @@ class NamedRegistry {
     for (const Entry& e : entries_)
       if (e.name == name) return e;
     std::ostringstream msg;
-    msg << "unknown " << kind_ << ": " << name << " (known:";
+    msg << "unknown " << kind_ << ": " << name;
+    const std::vector<std::string> near = nearest_names(name, names());
+    if (!near.empty()) {
+      msg << " (did you mean:";
+      for (const std::string& n : near) msg << ' ' << n;
+      msg << '?' << ')';
+    }
+    msg << " (known:";
     for (const Entry& e : entries_) msg << ' ' << e.name;
     msg << ')';
     throw std::invalid_argument(msg.str());

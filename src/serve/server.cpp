@@ -1,0 +1,208 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace ewalk {
+
+namespace {
+
+// Best-effort id recovery from a line that failed request parsing, so the
+// error response still routes back to the right client-side future. Any
+// failure here (the line may not even be JSON) degrades to an empty id.
+std::string extract_id_lenient(const std::string& line) {
+  try {
+    const JsonValue root = parse_json(line);
+    if (root.type != JsonValue::Type::kObject) return "";
+    for (const auto& [key, value] : root.object)
+      if (key == "id") return value.as_param_string();
+  } catch (...) {
+  }
+  return "";
+}
+
+bool is_blank(const std::string& line) {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(config),
+      store_(config.cache_bytes),
+      scope_(config.threads) {}
+
+Server::~Server() {
+  drain();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::drain() { scope_.wait(); }
+
+void Server::handle_run(const RunRequest& run, const Sink& sink) {
+  // Admission: reserve a slot atomically, reject when the daemon already
+  // holds max_inflight accepted runs — bounded queueing is the contract.
+  std::uint32_t inflight = inflight_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (inflight >= config_.max_inflight) {
+      sink(serialize_error(
+          run.id, "server busy: " + std::to_string(inflight) +
+                      " requests in flight (limit " +
+                      std::to_string(config_.max_inflight) + "); retry later"));
+      return;
+    }
+    if (inflight_.compare_exchange_weak(inflight, inflight + 1,
+                                        std::memory_order_acq_rel))
+      break;
+  }
+  const std::uint64_t ticket =
+      tickets_.fetch_add(1, std::memory_order_relaxed) + 1;
+  sink(serialize_queued(run.id, ticket));
+  scope_.spawn([this, run, sink] {
+    // execute_run never throws (failures come back as ok == false), so a
+    // bad run produces an error line instead of poisoning the scope.
+    const RunResult result = execute_run(run, &store_);
+    sink(serialize_run_result(result));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void Server::handle_line(const std::string& line, const Sink& sink) {
+  if (is_blank(line)) return;
+  ServerRequest request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& ex) {
+    sink(serialize_error(extract_id_lenient(line), ex.what()));
+    return;
+  }
+  if (request.op == "ping") {
+    sink(serialize_status(request.id, "pong"));
+  } else if (request.op == "stats") {
+    sink(serialize_stats(request.id, store_.stats(),
+                         inflight_.load(std::memory_order_acquire),
+                         completed_.load(std::memory_order_acquire)));
+  } else if (request.op == "drain") {
+    drain();
+    sink(serialize_status(request.id, "drained"));
+  } else if (request.op == "shutdown") {
+    drain();
+    sink(serialize_status(request.id, "bye"));
+    shutdown_.store(true, std::memory_order_release);
+  } else {  // parse_request validated the op: only "run" remains
+    handle_run(request.run, sink);
+  }
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;
+  const Sink sink = [&out, &out_mutex](const std::string& response) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << response << '\n';
+    out.flush();
+  };
+  std::string line;
+  while (!shutdown_requested() && std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    handle_line(line, sink);
+  }
+  drain();  // EOF without a shutdown op still exits gracefully
+}
+
+std::uint16_t Server::listen_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_ = fd;
+  return ntohs(addr.sin_port);
+}
+
+void Server::serve_connection(int fd) {
+  // A receive timeout keeps this reader checking the shutdown flag even
+  // when the peer goes quiet, so serve_tcp() can always join it.
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  auto write_mutex = std::make_shared<std::mutex>();
+  const Sink sink = [fd, write_mutex](const std::string& response) {
+    const std::string line = response + "\n";
+    std::lock_guard<std::mutex> lock(*write_mutex);
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n =
+          ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone; the run still completes server-side
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  while (!shutdown_requested()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      handle_line(line, sink);
+      if (shutdown_requested()) break;
+    }
+  }
+  ::close(fd);
+}
+
+void Server::serve_tcp() {
+  if (listen_fd_ < 0)
+    throw std::logic_error("serve_tcp() requires listen_tcp() first");
+  std::vector<std::thread> connections;
+  while (!shutdown_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back([this, fd] { serve_connection(fd); });
+  }
+  for (std::thread& t : connections) t.join();
+  drain();
+}
+
+}  // namespace ewalk

@@ -2,6 +2,28 @@
 
 namespace ewalk {
 
+const std::vector<OptionAlias>& run_option_aliases() {
+  static const std::vector<OptionAlias> aliases = {
+      {"walk", "process"},
+      {"generator", "graph"},
+  };
+  return aliases;
+}
+
+void canonicalize_run_params(ParamMap& params) {
+  for (const OptionAlias& a : run_option_aliases()) {
+    if (!params.has(a.alias)) continue;
+    const std::string value = params.get(a.alias, "");
+    if (params.has(a.canonical) && params.get(a.canonical, "") != value)
+      throw std::invalid_argument(
+          "--" + a.alias + " is a synonym of --" + a.canonical +
+          ", but both were given with different values ('" + value + "' vs '" +
+          params.get(a.canonical, "") + "')");
+    params.set(a.canonical, value);
+    params.erase(a.alias);
+  }
+}
+
 Cli::Cli(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
@@ -20,6 +42,7 @@ Cli::Cli(int argc, char** argv) {
       params_.set(arg, "true");
     }
   }
+  canonicalize_run_params(params_);
 }
 
 }  // namespace ewalk

@@ -43,8 +43,31 @@ inline std::vector<std::uint64_t> parse_u64_list(const std::string& spec) {
   return values;
 }
 
+/// One row of the canonical run-option table: a historical alias spelling
+/// and the canonical key it folds into.
+struct OptionAlias {
+  std::string alias;      ///< accepted synonym, e.g. "walk"
+  std::string canonical;  ///< canonical key, e.g. "process"
+};
+
+/// The canonical run-option table shared by `ewalk`, `ewalkd`, and the
+/// benches: every accepted synonym of a run-level option, mapped to its one
+/// canonical spelling. CLI flag parsing (Cli) and the server's JSON request
+/// fields (src/serve/protocol.cpp) both fold aliases through this table, so
+/// a flag and its request-field twin cannot diverge.
+const std::vector<OptionAlias>& run_option_aliases();
+
+/// Rewrites every aliased key in `params` to its canonical spelling
+/// (run_option_aliases), in place. A request naming an alias and its
+/// canonical key with *different* values is ambiguous and throws
+/// std::invalid_argument; naming both with equal values is folded silently.
+void canonicalize_run_params(ParamMap& params);
+
 class Cli {
  public:
+  /// Parses argv. Aliased flags (--walk, --generator) are canonicalized at
+  /// parse time via canonicalize_run_params, so downstream code only ever
+  /// sees the canonical keys (--process, --graph).
   Cli(int argc, char** argv);
 
   bool has(const std::string& key) const { return params_.has(key); }

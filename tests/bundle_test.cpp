@@ -222,19 +222,19 @@ TEST(TrialBundle, MeasureCoverSamplesInvariantAcrossWidthsAndThreads) {
     return std::make_unique<EProcessHandle>(g, 0,
                                             std::make_unique<UniformRule>());
   };
-  CoverExperimentConfig config;
-  config.trials = 8;
-  config.master_seed = 2024;
-  config.threads = 1;
-  config.bundle_width = 1;
+  RunRequest req;
+  req.trials = 8;
+  req.seed = 2024;
+  req.threads = 1;
+  req.bundle_width = 1;
   const std::vector<double> reference =
-      measure_cover(processes, graphs, config).samples;
+      measure_cover(processes, graphs, req).samples;
   ASSERT_EQ(reference.size(), 8u);
   for (const std::uint32_t width : {2u, 4u, 8u, 16u}) {
     for (const std::uint32_t threads : {1u, 4u}) {
-      config.bundle_width = width;
-      config.threads = threads;
-      const auto result = measure_cover(processes, graphs, config);
+      req.bundle_width = width;
+      req.threads = threads;
+      const auto result = measure_cover(processes, graphs, req);
       EXPECT_EQ(result.samples, reference)
           << "width " << width << ", threads " << threads;
     }

@@ -27,25 +27,25 @@ TEST(RunTrials, ThreadCountInvarianceWithRealWalks) {
   // pure function of (master_seed, i), so threads=1 and threads=8 must
   // return bit-identical vectors — including when trials build graphs and
   // drive real walks, not just draw from the rng.
-  CoverExperimentConfig config;
-  config.trials = 8;
-  config.master_seed = 4242;
+  RunRequest req;
+  req.trials = 8;
+  req.seed = 4242;
   const GraphFactory graphs = [](Rng& rng) {
     return random_regular_connected(80, 4, rng);
   };
   const RuleFactory rules = [](const Graph&) {
     return std::make_unique<UniformRule>();
   };
-  config.threads = 1;
-  const auto serial = measure_eprocess_cover(graphs, rules, config);
-  config.threads = 8;
-  const auto parallel = measure_eprocess_cover(graphs, rules, config);
+  req.threads = 1;
+  const auto serial = measure_eprocess_cover(graphs, rules, req);
+  req.threads = 8;
+  const auto parallel = measure_eprocess_cover(graphs, rules, req);
   EXPECT_EQ(serial.samples, parallel.samples);
 
-  config.threads = 1;
-  const auto srw_serial = measure_srw_cover(graphs, config);
-  config.threads = 8;
-  const auto srw_parallel = measure_srw_cover(graphs, config);
+  req.threads = 1;
+  const auto srw_serial = measure_srw_cover(graphs, req);
+  req.threads = 8;
+  const auto srw_parallel = measure_srw_cover(graphs, req);
   EXPECT_EQ(srw_serial.samples, srw_parallel.samples);
 }
 
@@ -73,28 +73,28 @@ TEST(RunTrials, SummaryMatchesSamples) {
 TEST(MeasureCover, EProcessOnCycleIsExact) {
   // On C_n the E-process covers vertices in exactly n-1 steps and edges in
   // exactly n steps regardless of trials/seeds.
-  CoverExperimentConfig config;
-  config.trials = 4;
-  config.master_seed = 5;
+  RunRequest req;
+  req.trials = 4;
+  req.seed = 5;
   const GraphFactory graphs = [](Rng&) { return cycle_graph(50); };
   const RuleFactory rules = [](const Graph&) {
     return std::make_unique<UniformRule>();
   };
-  auto res = measure_eprocess_cover(graphs, rules, config);
+  auto res = measure_eprocess_cover(graphs, rules, req);
   EXPECT_EQ(res.uncovered_trials, 0u);
   EXPECT_DOUBLE_EQ(res.stats.mean, 49.0);
 
-  config.target = CoverTarget::kEdges;
-  res = measure_eprocess_cover(graphs, rules, config);
+  req.target = RunTarget::kEdges;
+  res = measure_eprocess_cover(graphs, rules, req);
   EXPECT_DOUBLE_EQ(res.stats.mean, 50.0);
 }
 
 TEST(MeasureCover, FreshGraphPerTrial) {
   // The factory must be invoked once per trial: count invocations.
   std::atomic<int> calls{0};
-  CoverExperimentConfig config;
-  config.trials = 6;
-  config.threads = 2;
+  RunRequest req;
+  req.trials = 6;
+  req.threads = 2;
   const GraphFactory graphs = [&calls](Rng& rng) {
     calls.fetch_add(1);
     return random_regular_connected(40, 4, rng);
@@ -102,52 +102,76 @@ TEST(MeasureCover, FreshGraphPerTrial) {
   const RuleFactory rules = [](const Graph&) {
     return std::make_unique<UniformRule>();
   };
-  const auto res = measure_eprocess_cover(graphs, rules, config);
+  const auto res = measure_eprocess_cover(graphs, rules, req);
   EXPECT_EQ(calls.load(), 6);
   EXPECT_EQ(res.samples.size(), 6u);
   EXPECT_EQ(res.uncovered_trials, 0u);
 }
 
 TEST(MeasureCover, SrwCoversAndIsSlowerThanEProcess) {
-  CoverExperimentConfig config;
-  config.trials = 5;
-  config.master_seed = 11;
+  RunRequest req;
+  req.trials = 5;
+  req.seed = 11;
   const GraphFactory graphs = [](Rng& rng) {
     return random_regular_connected(200, 4, rng);
   };
   const RuleFactory rules = [](const Graph&) {
     return std::make_unique<UniformRule>();
   };
-  const auto ep = measure_eprocess_cover(graphs, rules, config);
-  const auto srw = measure_srw_cover(graphs, config);
+  const auto ep = measure_eprocess_cover(graphs, rules, req);
+  const auto srw = measure_srw_cover(graphs, req);
   EXPECT_EQ(ep.uncovered_trials, 0u);
   EXPECT_EQ(srw.uncovered_trials, 0u);
   EXPECT_LT(ep.stats.mean, srw.stats.mean);
 }
 
 TEST(MeasureCover, BudgetExhaustionCounted) {
-  CoverExperimentConfig config;
-  config.trials = 3;
-  config.max_steps = 5;  // absurdly small: cover impossible
+  RunRequest req;
+  req.trials = 3;
+  req.max_steps = 5;  // absurdly small: cover impossible
   const GraphFactory graphs = [](Rng&) { return cycle_graph(100); };
-  const auto res = measure_srw_cover(graphs, config);
+  const auto res = measure_srw_cover(graphs, req);
   EXPECT_EQ(res.uncovered_trials, 3u);
   EXPECT_DOUBLE_EQ(res.stats.mean, 5.0);
 }
 
 TEST(MeasureCover, ReproducibleForSameSeed) {
-  CoverExperimentConfig config;
-  config.trials = 4;
-  config.master_seed = 21;
+  RunRequest req;
+  req.trials = 4;
+  req.seed = 21;
   const GraphFactory graphs = [](Rng& rng) {
     return random_regular_connected(60, 4, rng);
   };
   const RuleFactory rules = [](const Graph&) {
     return std::make_unique<UniformRule>();
   };
-  const auto a = measure_eprocess_cover(graphs, rules, config);
-  const auto b = measure_eprocess_cover(graphs, rules, config);
+  const auto a = measure_eprocess_cover(graphs, rules, req);
+  const auto b = measure_eprocess_cover(graphs, rules, req);
   EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(MeasureCover, DeprecatedConfigForwardsToRunRequest) {
+  // The one-release compatibility contract: the legacy config overload must
+  // produce bit-identical samples to the RunRequest overload it forwards to
+  // (master_seed maps to seed, the other fields one-to-one).
+  const GraphFactory graphs = [](Rng& rng) {
+    return random_regular_connected(60, 4, rng);
+  };
+  const RuleFactory rules = [](const Graph&) {
+    return std::make_unique<UniformRule>();
+  };
+  CoverExperimentConfig legacy;
+  legacy.trials = 4;
+  legacy.master_seed = 33;
+  legacy.target = CoverTarget::kEdges;
+  RunRequest req;
+  req.trials = 4;
+  req.seed = 33;
+  req.target = RunTarget::kEdges;
+  const auto old_api = measure_eprocess_cover(graphs, rules, legacy);
+  const auto new_api = measure_eprocess_cover(graphs, rules, req);
+  EXPECT_EQ(old_api.samples, new_api.samples);
+  EXPECT_EQ(old_api.uncovered_trials, new_api.uncovered_trials);
 }
 
 }  // namespace

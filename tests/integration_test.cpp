@@ -20,16 +20,16 @@ namespace {
 
 CoverExperimentResult eprocess_cover(Vertex n, std::uint32_t r, std::uint32_t trials,
                                      std::uint64_t seed,
-                                     CoverTarget target = CoverTarget::kVertices) {
-  CoverExperimentConfig config;
-  config.trials = trials;
-  config.master_seed = seed;
-  config.target = target;
+                                     RunTarget target = RunTarget::kVertices) {
+  RunRequest req;
+  req.trials = trials;
+  req.seed = seed;
+  req.target = target;
   const GraphFactory graphs = [n, r](Rng& rng) {
     return random_regular_connected(n, r, rng);
   };
   const RuleFactory rules = [](const Graph&) { return std::make_unique<UniformRule>(); };
-  return measure_eprocess_cover(graphs, rules, config);
+  return measure_eprocess_cover(graphs, rules, req);
 }
 
 // Corollary 2 in miniature: on 4-regular graphs the E-process normalised
@@ -64,9 +64,9 @@ TEST(Integration, MiniFigure1OddDegreeGrows) {
 TEST(Integration, EProcessBeatsSrwByGrowingFactor) {
   // Speed-up Ω(log n) on even-degree expanders: check the ratio at one n is
   // comfortably > 1 and grows from n=500 to n=2000.
-  CoverExperimentConfig config;
-  config.trials = 5;
-  config.master_seed = 7;
+  RunRequest req;
+  req.trials = 5;
+  req.seed = 7;
   const auto ratio_at = [&](Vertex n) {
     const GraphFactory graphs = [n](Rng& rng) {
       return random_regular_connected(n, 4, rng);
@@ -74,8 +74,8 @@ TEST(Integration, EProcessBeatsSrwByGrowingFactor) {
     const RuleFactory rules = [](const Graph&) {
       return std::make_unique<UniformRule>();
     };
-    const auto ep = measure_eprocess_cover(graphs, rules, config);
-    const auto srw = measure_srw_cover(graphs, config);
+    const auto ep = measure_eprocess_cover(graphs, rules, req);
+    const auto srw = measure_srw_cover(graphs, req);
     return srw.stats.mean / ep.stats.mean;
   };
   const double r500 = ratio_at(500);

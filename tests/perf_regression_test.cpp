@@ -176,31 +176,31 @@ std::uint64_t hash_samples(const std::vector<double>& samples) {
 
 // Parallel experiment harness: per-trial streams through run_trials.
 std::uint64_t measure_cover_samples(std::uint32_t threads) {
-  CoverExperimentConfig config;
-  config.trials = 8;
-  config.threads = threads;
-  config.master_seed = 2024;
+  RunRequest req;
+  req.trials = 8;
+  req.threads = threads;
+  req.seed = 2024;
   const auto result = measure_eprocess_cover(
       [](Rng& rng) { return random_regular_connected(200, 4, rng); },
       [](const Graph& g) {
         Rng unused(0);
         return make_rule("uniform", g, unused);
       },
-      config);
+      req);
   return hash_samples(result.samples);
 }
 
 std::uint64_t measure_coalescence_samples(std::uint32_t threads) {
-  CoalescenceExperimentConfig config;
-  config.trials = 8;
-  config.threads = threads;
-  config.master_seed = 4096;
+  RunRequest req;
+  req.trials = 8;
+  req.threads = threads;
+  req.seed = 4096;
   const auto result = measure_coalescence(
       [](const Graph& g, Rng&) -> std::unique_ptr<TokenProcess> {
         return std::make_unique<CoalescingRW>(
             g, spread_token_starts(g.num_vertices(), 6, 0));
       },
-      [](Rng&) { return hypercube(7); }, config);
+      [](Rng&) { return hypercube(7); }, req);
   Hasher h;
   h.mix(hash_samples(result.samples));
   h.mix(hash_samples(result.meeting_samples));

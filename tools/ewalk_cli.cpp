@@ -41,27 +41,27 @@
 //   ewalk --graph hamunion --n 50000 --k 3 --process multi-eprocess --walkers 8
 //   ewalk --graph complete --n 1024 --process coalescing-srw --tokens 32
 //   ewalk --graph cycle --n 257 --process herman --tokens 3
-#include <atomic>
+//
+// Since the serving-layer redesign the non-sweep path is one call: the flag
+// bag becomes a RunRequest (serve/request.hpp) — the same canonical struct
+// the ewalkd daemon parses from protocol lines — and execute_run produces
+// the RunResult this driver formats. CLI and daemon samples are therefore
+// bit-identical by construction.
 #include <cstdio>
 #include <memory>
-#include <numeric>
 #include <string>
 
 #include "analysis/profile.hpp"
 #include "covertime/experiment.hpp"
-#include "engine/budget.hpp"
-#include "engine/driver.hpp"
 #include "engine/params.hpp"
 #include "engine/registry.hpp"
-#include "engine/token_process.hpp"
-#include "graph/algorithms.hpp"
+#include "serve/request.hpp"
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
-#include "util/timer.hpp"
 
 namespace {
 
@@ -218,22 +218,28 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    const std::uint32_t trials = static_cast<std::uint32_t>(cli.get_int("trials", 5));
-    const std::string family = cli.has("graph") ? cli.get("graph", "regular")
-                                                : cli.get("generator", "regular");
-    const std::string process = cli.has("process") ? cli.get("process", "eprocess")
-                                                   : cli.get("walk", "eprocess");
-    const ParamMap& params = cli.params();
+    // The Cli constructor already folded --walk/--generator onto the
+    // canonical --process/--graph spellings (util/cli's shared table).
+    RunRequest req = run_request_from_params(cli.params());
 
-    if (cli.has("sweep")) return run_cli_sweep(cli, family, process, trials);
+    if (cli.has("sweep"))
+      return run_cli_sweep(cli, req.graph, req.process, req.trials);
 
-    Rng graph_rng(cli.get_u64("seed", 1));
-    const Graph g = GeneratorRegistry::instance().create(family, params, graph_rng);
+    req.threads = resolve_cli_threads(cli);
 
+    // The whole non-sweep run is one execute_run call — the same entry
+    // point the ewalkd daemon dispatches, minus the graph cache.
+    const RunResult result = execute_run(req, /*store=*/nullptr);
+    if (!result.ok) {
+      std::fprintf(stderr, "error: %s\n", result.error.c_str());
+      return 1;
+    }
+
+    const Graph& g = result.graph->graph();
     std::printf("graph: n=%u m=%u min_deg=%u max_deg=%u even=%s connected=%s\n",
                 g.num_vertices(), g.num_edges(), g.min_degree(), g.max_degree(),
                 g.all_degrees_even() ? "yes" : "no",
-                is_connected(g) ? "yes" : "no");
+                result.graph->connected() ? "yes" : "no");
 
     if (cli.has("profile")) {
       ProfileOptions popts;
@@ -241,88 +247,43 @@ int main(int argc, char** argv) {
       std::printf("%s", format_profile(profile_graph(g, popts)).c_str());
     }
 
-    // Token processes default to the coalescence target; everything else to
-    // vertex cover. Decided from a probe construction before the trials, so
-    // the parallel executor below can be planned up front — the probe also
-    // surfaces bad --process/--rule/--target combinations on the main
-    // thread, where they can be reported, instead of inside a pool worker.
-    std::string target = cli.get("target", "");
-    {
-      Rng probe_rng(cli.get_u64("seed", 1));
-      auto probe = ProcessRegistry::instance().create(process, g, params, probe_rng);
-      const bool is_token = dynamic_cast<TokenProcess*>(probe.get()) != nullptr;
-      if (target.empty()) target = is_token ? "coalescence" : "vertices";
-      if (target == "coalescence" && !is_token)
-        throw std::invalid_argument("--target coalescence needs an "
-                                    "interacting-token process");
-    }
-    const bool edges = target == "edges";
-    const bool coalescence = target == "coalescence";
-
-    const std::uint32_t threads = resolve_cli_threads(cli);
-    const std::uint64_t budget = cli.get_u64("max-steps", default_step_budget(g));
-    std::vector<double> steps(trials, 0.0), meetings(trials, 0.0);
-    std::atomic<std::uint32_t> unfinished{0};
-    WallTimer timer;
-    // One trial = one registry-constructed process on the shared graph,
-    // driven to the target. Trial t's stream depends only on (--seed, t).
-    const std::vector<double> covers = run_trials(
-        trials, threads, cli.get_u64("seed", 1),
-        [&](Rng& rng, std::uint32_t t) -> double {
-          auto walk = ProcessRegistry::instance().create(process, g, params, rng);
-          bool done;
-          std::uint64_t result_step;
-          if (coalescence) {
-            auto& tokens = dynamic_cast<TokenProcess&>(*walk);
-            done = run_until_process(tokens, rng, CoalescedToOne{}, budget);
-            result_step = tokens.coalescence_step();
-            const std::uint64_t met = tokens.first_meeting_step();
-            meetings[t] = static_cast<double>(met != kNotCovered ? met : budget);
-          } else if (edges) {
-            done = run_until(*walk, rng, EdgesCovered{}, budget);
-            result_step = walk->cover().edge_cover_step();
-          } else {
-            done = run_until(*walk, rng, VertexCovered{}, budget);
-            result_step = walk->cover().vertex_cover_step();
-          }
-          if (!done) unfinished.fetch_add(1, std::memory_order_relaxed);
-          steps[t] = static_cast<double>(walk->steps());
-          // Unfinished trials contribute the budget, as measure_cover does.
-          return static_cast<double>(done ? result_step : budget);
-        });
-    const double wall_seconds = timer.seconds();
-    const auto stats = summarize(covers);
-    const char* quantity = coalescence ? "coalescence" : (edges ? "edge cover" : "vertex cover");
-    std::printf("%s time over %u trials:\n", quantity, trials);
+    const bool coalescence = result.target == RunTarget::kCoalescence;
+    const char* quantity = coalescence ? "coalescence"
+                           : result.target == RunTarget::kEdges ? "edge cover"
+                                                                : "vertex cover";
+    const SummaryStats& stats = result.stats;
+    std::printf("%s time over %u trials:\n", quantity, req.trials);
     std::printf("  mean   %14.0f  (+/- %0.0f at 95%%)\n", stats.mean,
                 stats.ci95_halfwidth());
     std::printf("  median %14.0f   min %0.0f   max %0.0f\n", stats.median,
                 stats.min, stats.max);
     std::printf("  normalised: /n = %.3f   /m = %.3f\n",
                 stats.mean / g.num_vertices(), stats.mean / g.num_edges());
-    if (coalescence) {
-      const auto met = summarize(meetings);
-      std::printf("  first meeting: mean %.0f   median %.0f\n", met.mean, met.median);
-    }
-    const double total_steps = std::accumulate(steps.begin(), steps.end(), 0.0);
+    if (coalescence)
+      std::printf("  first meeting: mean %.0f   median %.0f\n",
+                  result.meeting_stats.mean, result.meeting_stats.median);
     std::printf("  throughput: %.3g steps/sec (%.0f steps, %.2fs wall, --threads %u)\n",
-                wall_seconds > 0 ? total_steps / wall_seconds : 0.0, total_steps,
-                wall_seconds, threads);
-    if (unfinished.load() > 0)
+                result.wall_seconds > 0 ? result.total_steps / result.wall_seconds
+                                        : 0.0,
+                result.total_steps, result.wall_seconds, req.threads);
+    if (result.unfinished > 0)
       std::printf("  WARNING: %u/%u trials did not finish within %llu steps;\n"
                   "  their samples (and the statistics above) are clamped to the\n"
                   "  budget — raise --max-steps for true values\n",
-                  unfinished.load(), trials, static_cast<unsigned long long>(budget));
+                  result.unfinished, req.trials,
+                  static_cast<unsigned long long>(result.budget));
 
     if (cli.has("csv")) {
       std::vector<std::string> header = {"trial", "result_step", "total_steps"};
       if (coalescence) header.push_back("meeting_step");
       CsvWriter csv(cli.get("csv", "ewalk.csv"), std::move(header));
-      for (std::uint32_t t = 0; t < trials; ++t) {
+      for (std::uint32_t t = 0; t < req.trials; ++t) {
         if (coalescence)
-          csv.row({static_cast<double>(t), covers[t], steps[t], meetings[t]});
+          csv.row({static_cast<double>(t), result.samples[t],
+                   result.step_samples[t], result.meeting_samples[t]});
         else
-          csv.row({static_cast<double>(t), covers[t], steps[t]});
+          csv.row({static_cast<double>(t), result.samples[t],
+                   result.step_samples[t]});
       }
       std::printf("  wrote %s\n", cli.get("csv", "ewalk.csv").c_str());
     }

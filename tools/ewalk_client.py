@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Client for the ewalkd serving daemon (line-delimited JSON protocol).
+
+Two transports:
+  * --spawn BIN : start `BIN --stdin` as a child process and pipe the
+    request script through it (what CI's serve-smoke step does);
+  * --host/--port : connect to a running `ewalkd --port P` over TCP.
+
+The request script (--script FILE, or stdin) is one JSON request per line;
+blank lines and lines starting with '#' are skipped. All responses are
+printed one per line.
+
+Determinism helpers for golden-file diffs:
+  * --strip : drop fields that legitimately vary run-to-run (wall_seconds,
+    the stats "bytes" gauge, whose base includes platform-dependent struct
+    sizes) and re-serialise each response with sorted keys;
+  * --sort  : order responses by (id, status, line) instead of completion
+    order — results of concurrent runs complete in scheduler order, which
+    is the one thing the serving determinism contract does NOT pin.
+
+Example:
+  python3 tools/ewalk_client.py --spawn build/ewalkd \
+      --script tools/serve_smoke.jsonl --strip --sort
+"""
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+
+# Fields whose values vary run-to-run even under the determinism contract.
+VOLATILE_FIELDS = ("wall_seconds",)
+VOLATILE_CACHE_FIELDS = ("bytes",)
+
+
+def read_script(path):
+    """Request lines of the script at `path` ('-' = stdin), comments skipped."""
+    stream = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    try:
+        lines = []
+        for raw in stream:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            lines.append(line)
+        return lines
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+
+
+def strip_response(line):
+    """Canonicalise one response line: drop volatile fields, sort keys."""
+    try:
+        obj = json.loads(line)
+    except ValueError:
+        return line  # not JSON: pass through untouched (shouldn't happen)
+    for field in VOLATILE_FIELDS:
+        obj.pop(field, None)
+    cache = obj.get("cache")
+    if isinstance(cache, dict):
+        for field in VOLATILE_CACHE_FIELDS:
+            cache.pop(field, None)
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def run_spawn(binary, extra_args, requests):
+    """Pipe `requests` through a fresh `binary --stdin` child; returns responses."""
+    child = subprocess.Popen(
+        [binary, "--stdin"] + extra_args,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    payload = "".join(line + "\n" for line in requests)
+    out, _ = child.communicate(payload)
+    if child.returncode != 0:
+        raise RuntimeError("ewalkd exited with status %d" % child.returncode)
+    return [line for line in out.splitlines() if line]
+
+
+def run_tcp(host, port, requests):
+    """Send `requests` over one TCP connection; reads until the peer closes.
+
+    The last request should be a shutdown (or the caller must not expect
+    this function to return): responses stream back tagged by id, and EOF
+    is the only length signal the protocol needs.
+    """
+    with socket.create_connection((host, port)) as conn:
+        conn.sendall("".join(line + "\n" for line in requests).encode())
+        conn.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return [line for line in b"".join(chunks).decode().splitlines() if line]
+
+
+def sort_key(line):
+    try:
+        obj = json.loads(line)
+    except ValueError:
+        return ("", "", line)
+    return (str(obj.get("id", "")), str(obj.get("status", "")), line)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spawn", metavar="BIN",
+                        help="start BIN --stdin and pipe the script through it")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP host (with --port; default 127.0.0.1)")
+    parser.add_argument("--port", type=int,
+                        help="connect to a running ewalkd on this TCP port")
+    parser.add_argument("--script", default="-", metavar="FILE",
+                        help="request script, one JSON line each ('-' = stdin)")
+    parser.add_argument("--daemon-arg", action="append", default=[],
+                        metavar="ARG", help="extra flag for the spawned daemon "
+                        "(repeatable, e.g. --daemon-arg=--cache-bytes=1000000)")
+    parser.add_argument("--strip", action="store_true",
+                        help="drop volatile fields; sorted-key canonical JSON")
+    parser.add_argument("--sort", action="store_true",
+                        help="sort responses by (id, status) for golden diffs")
+    args = parser.parse_args()
+
+    if (args.spawn is None) == (args.port is None):
+        parser.error("pick exactly one transport: --spawn BIN or --port P")
+
+    requests = read_script(args.script)
+    if args.spawn:
+        responses = run_spawn(args.spawn, args.daemon_arg, requests)
+    else:
+        responses = run_tcp(args.host, args.port, requests)
+
+    if args.strip:
+        responses = [strip_response(line) for line in responses]
+    if args.sort:
+        responses.sort(key=sort_key)
+    for line in responses:
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

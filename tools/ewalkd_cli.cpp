@@ -1,0 +1,88 @@
+// ewalkd — the long-lived serving daemon: a persistent process over a
+// cached graph store, accepting line-delimited JSON run requests and
+// streaming back tagged results (src/serve/).
+//
+// Usage:
+//   ewalkd --stdin [--cache-bytes B] [--inflight N] [--threads T]
+//   ewalkd --port P [--cache-bytes B] [--inflight N] [--threads T]
+//
+// --stdin serves one request pipe on stdin/stdout (the mode CI and the
+// tests drive; EOF or a {"op":"shutdown"} line ends it). --port listens on
+// 127.0.0.1:P (0 picks an ephemeral port, reported on stdout) with one
+// reader thread per connection, all sharing the cache and the scheduler.
+//
+// Protocol quickstart (see src/serve/protocol.hpp for the full shape):
+//   {"op":"run","id":"a","graph":"regular","process":"eprocess",
+//    "seed":7,"trials":5,"params":{"n":"4096","r":"4"}}
+//   {"op":"stats"}   {"op":"drain"}   {"op":"ping"}   {"op":"shutdown"}
+//
+// Responses are one JSON line each, tagged with the request id; runs ack
+// immediately ("queued" + ticket) and their results stream back when they
+// complete. tools/ewalk_client.py wraps both transports.
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "ewalkd — serving daemon over a cached graph store\n\n"
+      "usage: ewalkd --stdin | --port P\n"
+      "              [--cache-bytes B] [--inflight N] [--threads T]\n\n"
+      "  --stdin          serve line-delimited JSON on stdin/stdout\n"
+      "  --port P         listen on 127.0.0.1:P (0 = ephemeral, printed)\n"
+      "  --cache-bytes B  graph cache byte budget (0 = unlimited, default)\n"
+      "  --inflight N     max queued+running run requests (default 64)\n"
+      "  --threads T      run-execution parallelism (0 = hardware, default)\n"
+      "  --help           this text\n\n"
+      "One JSON object per request line; see src/serve/protocol.hpp and\n"
+      "tools/ewalk_client.py. `ewalk --help` lists graph families and\n"
+      "processes — request fields mirror the ewalk flags one-for-one.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ewalk::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_help();
+    return 0;
+  }
+  try {
+    ewalk::ServerConfig config;
+    config.cache_bytes = cli.get_u64("cache-bytes", 0);
+    config.max_inflight =
+        static_cast<std::uint32_t>(cli.get_u64("inflight", 64));
+    if (config.max_inflight == 0)
+      throw std::invalid_argument("--inflight must be >= 1");
+    const std::int64_t threads = cli.get_int("threads", 0);
+    if (threads < 0)
+      throw std::invalid_argument(
+          "--threads must be >= 0 (0 = all hardware threads)");
+    config.threads = static_cast<std::uint32_t>(threads);
+
+    if (cli.has("stdin") == cli.has("port"))
+      throw std::invalid_argument(
+          "pick exactly one transport: --stdin or --port P");
+
+    ewalk::Server server(config);
+    if (cli.has("stdin")) {
+      server.serve_stream(std::cin, std::cout);
+      return 0;
+    }
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(cli.get_u64("port", 0));
+    const std::uint16_t bound = server.listen_tcp(port);
+    std::printf("ewalkd: listening on 127.0.0.1:%u\n", bound);
+    std::fflush(stdout);
+    server.serve_tcp();
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+}
